@@ -1,0 +1,116 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. The evaluation tables — one per experiment E1..E10 (the reproduction
+      of the paper's claims; see EXPERIMENTS.md). Pass --full for the
+      full-size configurations (minutes), default is quick (seconds).
+   2. Bechamel micro-benchmarks, one Test.make per experiment workload and
+      one per stack layer, measuring wall-clock cost per execution. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let quick = not (Array.exists (String.equal "--full") Sys.argv)
+let skip_micro = Array.exists (String.equal "--tables-only") Sys.argv
+
+(* --- part 1: evaluation tables ------------------------------------------ *)
+
+let run_tables () =
+  Fmt.pr "############ TBWF evaluation tables (%s mode) ############@."
+    (if quick then "quick" else "full");
+  Tbwf_experiments.Registry.run_all ~quick Fmt.stdout
+
+(* --- part 2: bechamel micro-benchmarks ---------------------------------- *)
+
+(* One Test.make per experiment: each runs that experiment's (quick)
+   workload once per measured execution. E1/E2 are the expensive sweeps, so
+   they get a single-config variant to keep sampling fast. *)
+let experiment_tests =
+  let make_test name (thunk : unit -> unit) =
+    Test.make ~name (Staged.stage thunk)
+  in
+  [
+    make_test "e1_degradation_one_config" (fun () ->
+        ignore (Tbwf_experiments.E1_degradation.compute ~quick:true ()));
+    make_test "e2_baselines" (fun () ->
+        ignore (Tbwf_experiments.E2_baselines.compute ~quick:true ()));
+    make_test "e3_obstruction" (fun () ->
+        ignore (Tbwf_experiments.E3_obstruction.compute ~quick:true ()));
+    make_test "e4_omega_atomic" (fun () ->
+        ignore (Tbwf_experiments.E4_omega_atomic.compute ~quick:true ()));
+    make_test "e5_omega_abortable" (fun () ->
+        ignore (Tbwf_experiments.E5_omega_abortable.compute ~quick:true ()));
+    make_test "e6_monitor_matrix" (fun () ->
+        ignore (Tbwf_experiments.E6_monitor_matrix.compute ~quick:true ()));
+    make_test "e7_write_efficiency" (fun () ->
+        ignore (Tbwf_experiments.E7_write_efficiency.compute ~quick:true ()));
+    make_test "e8_canonical" (fun () ->
+        ignore (Tbwf_experiments.E8_canonical.compute ~quick:true ()));
+    make_test "e9_flicker" (fun () ->
+        ignore (Tbwf_experiments.E9_flicker.compute ~quick:true ()));
+    make_test "e11_ablations" (fun () ->
+        ignore (Tbwf_experiments.E11_ablations.compute ~quick:true ()));
+    make_test "e12_routes" (fun () ->
+        ignore (Tbwf_experiments.E12_routes.compute ~quick:true ()));
+    make_test "e13_detectors" (fun () ->
+        ignore (Tbwf_experiments.E13_detectors.compute ~quick:true ()));
+    make_test "e14_gst" (fun () ->
+        ignore (Tbwf_experiments.E14_gst.compute ~quick:true ()));
+  ]
+
+(* One Test.make per stack layer (20k simulated steps each). *)
+let layer_tests =
+  List.map
+    (fun (name, thunk) -> Test.make ~name (Staged.stage thunk))
+    Tbwf_experiments.E10_throughput.runners
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  Benchmark.all cfg instances
+    (Test.make_grouped ~name:"tbwf" ~fmt:"%s/%s" tests)
+
+let report raw =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let nanos =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Fmt.pr "@.%-45s %15s@." "benchmark" "time/run";
+  Fmt.pr "%s@." (String.make 61 '-');
+  List.iter
+    (fun (name, nanos) ->
+      let pretty =
+        if Float.is_nan nanos then "n/a"
+        else if nanos > 1e9 then Fmt.str "%8.2f s " (nanos /. 1e9)
+        else if nanos > 1e6 then Fmt.str "%8.2f ms" (nanos /. 1e6)
+        else if nanos > 1e3 then Fmt.str "%8.2f us" (nanos /. 1e3)
+        else Fmt.str "%8.0f ns" nanos
+      in
+      Fmt.pr "%-45s %15s@." name pretty)
+    rows
+
+let () =
+  run_tables ();
+  if not skip_micro then begin
+    Fmt.pr
+      "@.############ bechamel micro-benchmarks (wall-clock per run) \
+       ############@.";
+    Fmt.pr "@.[layer costs: 20k simulated steps per run]@.";
+    report (benchmark layer_tests);
+    Fmt.pr "@.[experiment harness cost per full (quick) run]@.";
+    report (benchmark experiment_tests)
+  end

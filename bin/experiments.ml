@@ -1,0 +1,35 @@
+(* Run the experiment suite: all tables from EXPERIMENTS.md, or a single
+   experiment by id. *)
+
+open Cmdliner
+
+let run quick ids =
+  let fmt = Fmt.stdout in
+  (match ids with
+  | [] -> Tbwf_experiments.Registry.run_all ~quick fmt
+  | ids ->
+    List.iter
+      (fun id ->
+        match Tbwf_experiments.Registry.find id with
+        | Some entry ->
+          Fmt.pf fmt "@.=== %s: %s ===@." entry.Tbwf_experiments.Registry.id
+            entry.Tbwf_experiments.Registry.title;
+          entry.Tbwf_experiments.Registry.run ~quick fmt
+        | None -> Fmt.epr "unknown experiment %S (known: E1..E14)@." id)
+      ids);
+  Fmt.flush fmt ()
+
+let quick =
+  let doc = "Run smaller configurations (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let ids =
+  let doc = "Experiment ids to run (default: all of E1..E10)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let cmd =
+  let doc = "regenerate the TBWF evaluation tables" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run $ quick $ ids)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,95 @@
+(* Interactive scenario runner: build a TBWF stack with the given
+   parameters, run it, and print a progress report. *)
+
+open Cmdliner
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_objects
+open Tbwf_core
+open Tbwf_experiments
+
+let spec_of_object = function
+  | "counter" -> Counter.spec, Counter.inc
+  | "stack" -> Stack_obj.spec, Stack_obj.push (Value.Int 1)
+  | "queue" -> Queue_obj.spec, Queue_obj.enqueue (Value.Int 1)
+  | "set" -> Set_obj.spec, Set_obj.add 7
+  | "kv" -> Kv_store.spec, Kv_store.put "key" (Value.Int 1)
+  | "deque" -> Deque_obj.spec, Deque_obj.push_right (Value.Int 1)
+  | other ->
+    Fmt.failwith "unknown object %S (counter|stack|queue|set|kv|deque)" other
+
+let omega_of_string = function
+  | "atomic" -> Scenario.Omega_atomic
+  | "abortable" -> Scenario.Omega_abortable Abort_policy.Always
+  | "naive" -> Scenario.Omega_naive
+  | other -> Fmt.failwith "unknown omega %S (atomic|abortable|naive)" other
+
+let run n steps seed object_name omega_name untimely non_canonical =
+  let spec, op = spec_of_object object_name in
+  let omega = omega_of_string omega_name in
+  let untimely = List.filter (fun p -> p >= 0 && p < n) untimely in
+  let timely = List.filter (fun p -> not (List.mem p untimely)) (List.init n Fun.id) in
+  let stack =
+    Scenario.build ~seed:(Int64.of_int seed) ~canonical:(not non_canonical) ~n
+      ~omega ~spec
+      ~next_op:(Workload.forever op)
+      ~client_pids:(List.init n Fun.id) ()
+  in
+  let policy = Scenario.degraded_policy ~n ~timely () in
+  Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
+  let mid = Progress.snapshot stack.Scenario.stats in
+  Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
+  let trace = Runtime.trace stack.Scenario.rt in
+  let reports =
+    Progress.reports trace ~n ~stats:stack.Scenario.stats
+      ~from_step:(Runtime.now stack.Scenario.rt / 2)
+      ~bound:(4 * n)
+  in
+  Fmt.pr "TBWF %s over Ω∆(%a), n=%d, %d steps, untimely=%a@." spec.Seq_spec.name
+    Scenario.pp_omega_impl omega n steps
+    Fmt.(Dump.list int)
+    untimely;
+  List.iter (fun r -> Fmt.pr "  %a@." Progress.pp_report r) reports;
+  Fmt.pr "final object state: %a@." Value.pp (stack.Scenario.qa.Qa_intf.peek_state ());
+  Fmt.pr "TBWF holds (timely kept progressing): %b@."
+    (Progress.tbwf_holds_endless ~before:mid ~after:stack.Scenario.stats ~timely);
+  Runtime.stop stack.Scenario.rt
+
+let n =
+  Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.")
+
+let steps =
+  Arg.(value & opt int 200_000 & info [ "steps" ] ~doc:"Total steps to run.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let object_name =
+  Arg.(
+    value & opt string "counter"
+    & info [ "object" ] ~doc:"Shared object type: counter|stack|queue|set|kv|deque.")
+
+let omega_name =
+  Arg.(
+    value & opt string "atomic"
+    & info [ "omega" ] ~doc:"Leader elector: atomic|abortable|naive.")
+
+let untimely =
+  Arg.(
+    value & opt (list int) []
+    & info [ "untimely" ] ~doc:"Pids scheduled with ever-growing step gaps.")
+
+let non_canonical =
+  Arg.(
+    value & flag
+    & info [ "non-canonical" ]
+        ~doc:"Drop Figure 7's line-2 wait (demonstrates monopolization).")
+
+let cmd =
+  let doc = "run one TBWF scenario and report per-process progress" in
+  Cmd.v
+    (Cmd.info "tbwf_demo" ~doc)
+    Term.(
+      const run $ n $ steps $ seed $ object_name $ omega_name $ untimely
+      $ non_canonical)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(* A consistent progress dashboard over an atomic snapshot.
+
+   Workers process items and publish (items-done, last-item) into their
+   segment of a wait-free atomic snapshot (Afek et al., built from atomic
+   registers — the same substrate family the paper's constructions live
+   on). A dashboard process scans concurrently: because the snapshot is
+   atomic, every view it prints is a consistent cut — total work never
+   appears to decrease and never double-counts a worker mid-update — even
+   though one worker keeps decelerating.
+
+     dune exec examples/snapshot_dashboard.exe
+*)
+
+open Tbwf_sim
+open Tbwf_objects
+
+let n = 5 (* four workers + one dashboard process *)
+
+let () =
+  let rt = Runtime.create ~seed:77L ~n () in
+  let snap =
+    Atomic_snapshot.create rt ~name:"progress" ~init:(Value.Pair (Int 0, Int 0))
+  in
+  (* Workers 0-3: publish progress after every "item". Worker 0 decelerates. *)
+  for pid = 0 to 3 do
+    Runtime.spawn rt ~pid ~name:"worker" (fun () ->
+        let items = ref 0 in
+        while true do
+          (* simulate work *)
+          for _ = 1 to 5 do
+            Runtime.yield ()
+          done;
+          incr items;
+          Atomic_snapshot.update snap (Value.Pair (Int !items, Int (100 * pid)))
+        done)
+  done;
+  (* Dashboard on pid 4: scan and print; check monotonicity of the total. *)
+  let printed = ref [] in
+  Runtime.spawn rt ~pid:4 ~name:"dashboard" (fun () ->
+      while true do
+        let view = Atomic_snapshot.scan snap in
+        let total =
+          Array.fold_left
+            (fun acc seg ->
+              match seg with
+              | Value.Pair (Int done_, _) -> acc + done_
+              | _ -> acc)
+            0 view
+        in
+        printed := total :: !printed;
+        for _ = 1 to 200 do
+          Runtime.yield ()
+        done
+      done);
+  let policy =
+    Policy.of_patterns
+      (List.init n (fun pid ->
+           if pid = 0 then
+             pid, Policy.Slowing { initial_gap = 80; growth = 1.25; burst = 8 }
+           else pid, Policy.Weighted 1.0))
+  in
+  Runtime.run rt ~policy ~steps:120_000;
+  Runtime.stop rt;
+  let samples = List.rev !printed in
+  Fmt.pr "dashboard saw total work: %a@."
+    Fmt.(list ~sep:(any " ") int)
+    (List.filteri (fun i _ -> i mod 5 = 0) samples);
+  let monotone =
+    let rec check = function
+      | a :: (b :: _ as rest) -> a <= b && check rest
+      | [ _ ] | [] -> true
+    in
+    check samples
+  in
+  Fmt.pr "every printed view was a consistent cut (totals monotone): %b@."
+    monotone;
+  assert monotone;
+  Fmt.pr
+    "the decelerating worker's stale segment never corrupted a view — scans \
+     are atomic, and they stay wait-free because helping embeds a view in \
+     every update.@."

@@ -1,0 +1,55 @@
+open Tbwf_sim
+
+type outcome = { schedules : int; violation : int list option }
+
+(* Execute one script on a fresh runtime: set up the scenario, run under
+   the script policy, evaluate the invariant, and report the branching
+   factors observed (number of runnable choices at each scripted step). *)
+let run_script ~max_steps ~scenario ~make_runtime script =
+  let rt = make_runtime () in
+  let invariant = scenario rt in
+  let policy = Policy.of_script script in
+  Runtime.run rt ~policy ~steps:max_steps;
+  let branching = Policy.branching_of_script policy in
+  let holds = invariant () in
+  Runtime.stop rt;
+  holds, branching
+
+(* Depth-first search over choice scripts. Every prefix is itself executed
+   and checked (so the invariant must be a safety predicate, true in every
+   reachable state, not only at quiescence). A prefix is extended when the
+   run consumed all its choices and still had runnable tasks — detected by
+   probing with one extra choice and seeing whether it gets used. *)
+let exhaustive ?(max_schedules = 200_000) ~max_steps ~scenario ~make_runtime () =
+  let schedules = ref 0 in
+  let violation = ref None in
+  let rec explore prefix =
+    if !violation = None then begin
+      incr schedules;
+      if !schedules > max_schedules then
+        failwith "Explore.exhaustive: schedule budget exceeded";
+      let script = List.rev prefix in
+      let holds, branching =
+        run_script ~max_steps ~scenario ~make_runtime script
+      in
+      if not holds then violation := Some script
+      else if
+        List.length branching = List.length script
+        && List.length script < max_steps
+      then begin
+        let holds', branching' =
+          run_script ~max_steps ~scenario ~make_runtime (script @ [ 0 ])
+        in
+        if List.length branching' > List.length script then
+          if not holds' then violation := Some (script @ [ 0 ])
+          else begin
+            let k = List.nth branching' (List.length script) in
+            for c = 0 to k - 1 do
+              explore (c :: prefix)
+            done
+          end
+      end
+    end
+  in
+  explore [];
+  { schedules = !schedules; violation = !violation }

@@ -1,0 +1,37 @@
+(** Exhaustive schedule exploration (bounded model checking).
+
+    For small scenarios — a few processes, a handful of operations — the
+    simulator's determinism makes it cheap to enumerate {e every}
+    interleaving: a schedule is a script of choice indices
+    ({!Tbwf_sim.Policy.of_script}), and each script is explored by
+    re-executing the scenario from scratch (runs are pure functions of the
+    script). Depth-first search over scripts visits every schedule up to
+    [max_steps], so an invariant checked here holds for {e all} schedules
+    of the scenario, not just sampled ones.
+
+    The test suite uses this to verify, over every interleaving:
+    solo-operations-never-abort, register linearizability, and
+    query-abortable fate recovery. Complexity is the product of branching
+    factors (≈ runnable-process count per step): keep scenarios to 2–3
+    processes and ≲ 20 steps. *)
+
+type outcome = {
+  schedules : int;  (** interleavings explored *)
+  violation : int list option;
+      (** a witness script that falsified the invariant, if any *)
+}
+
+val exhaustive :
+  ?max_schedules:int ->
+  max_steps:int ->
+  scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
+  unit ->
+  outcome
+(** [exhaustive ~max_steps ~scenario ~make_runtime ()] runs
+    [scenario rt] to set up tasks on a fresh runtime per schedule; the
+    returned thunk is the invariant, evaluated after the run. Exploration
+    stops early (with the witness) on the first violation, or after
+    [max_schedules] (default 200 000 — a safety valve, exceeding it raises
+    [Failure] so a too-large scenario cannot silently pass). Schedules end
+    when all tasks finish or [max_steps] choices have been made. *)

@@ -1,0 +1,73 @@
+open Tbwf_sim
+
+type spec = {
+  initial : Value.t;
+  apply : Value.t -> Value.t -> (Value.t * Value.t) option;
+}
+
+let register_spec ~init =
+  {
+    initial = init;
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Pair (Str "read", _) -> Some (state, state)
+        | Value.Pair (Str "write", v) -> Some (v, Value.Unit)
+        | _ -> None);
+  }
+
+let counter_spec =
+  {
+    initial = Value.Int 0;
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.Int n, Value.Str "inc" -> Some (Value.Int (n + 1), Value.Int n)
+        | Value.Int _, Value.Pair (Str "read", _) -> Some (state, state)
+        | _ -> None);
+  }
+
+(* Depth-first search over linearization prefixes with memoization on
+   (remaining-operation set, sequential state). An operation is a candidate
+   for the next linearization slot iff no remaining operation precedes it in
+   real time (responded before its invocation). *)
+let check spec history =
+  let ops = Array.of_list history in
+  let count = Array.length ops in
+  if count > 62 then
+    invalid_arg "Linearizability.check: history too long (max 62 ops)";
+  let full_mask = if count = 64 then -1 else (1 lsl count) - 1 in
+  let seen : (int * Value.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let precedes a b = ops.(a).History.respond < ops.(b).History.invoke in
+  let rec search remaining state =
+    if remaining = 0 then true
+    else if Hashtbl.mem seen (remaining, state) then false
+    else begin
+      Hashtbl.replace seen (remaining, state) ();
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < count do
+        let candidate = !i in
+        incr i;
+        if remaining land (1 lsl candidate) <> 0 then begin
+          let minimal = ref true in
+          for j = 0 to count - 1 do
+            if
+              j <> candidate
+              && remaining land (1 lsl j) <> 0
+              && precedes j candidate
+            then minimal := false
+          done;
+          if !minimal then
+            match spec.apply state ops.(candidate).History.op with
+            | Some (state', result)
+              when Value.equal result ops.(candidate).History.result ->
+              if search (remaining land lnot (1 lsl candidate)) state' then
+                found := true
+            | Some _ | None -> ()
+        end
+      done;
+      !found
+    end
+  in
+  search full_mask spec.initial

@@ -1,0 +1,27 @@
+(** A Wing–Gong linearizability checker for small histories.
+
+    Searches for a total order of the completed operations that (a) respects
+    real-time precedence (op A before op B whenever A responded before B was
+    invoked) and (b) is legal for the given sequential specification.
+    Exponential in the worst case; intended for the short histories the test
+    suite generates (tens of operations). *)
+
+type spec = {
+  initial : Tbwf_sim.Value.t;  (** initial sequential state *)
+  apply :
+    Tbwf_sim.Value.t ->
+    Tbwf_sim.Value.t ->
+    (Tbwf_sim.Value.t * Tbwf_sim.Value.t) option;
+      (** [apply state op] is [Some (state', result)], or [None] if [op] is
+          not applicable in [state] *)
+}
+
+val register_spec : init:Tbwf_sim.Value.t -> spec
+(** Sequential read/write register: a read returns the last written value. *)
+
+val counter_spec : spec
+(** Sequential counter: op [Str "inc"] returns the pre-increment value;
+    [read] returns the current value. *)
+
+val check : spec -> History.op list -> bool
+(** True iff the history is linearizable with respect to [spec]. *)

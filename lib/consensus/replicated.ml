@@ -1,0 +1,77 @@
+open Tbwf_sim
+open Tbwf_objects
+
+(* Decided slot values have the shape Pair (op_id, op) with
+   op_id = Pair (Int pid, Int sequence-number). *)
+
+type replica = {
+  mutable state : Value.t;
+  mutable applied : int;  (* next slot to apply *)
+  mutable responses : (Value.t * Value.t) list;  (* (op_id, response), recent first *)
+}
+
+type t = {
+  slots : Consensus.t array;
+  spec : Seq_spec.t;
+  replicas : replica array;
+  sequence : int array;  (* per-pid local proposal counter *)
+}
+
+let create rt ~name ~omega ~spec ~slots =
+  let n = Runtime.n rt in
+  {
+    slots =
+      Array.init slots (fun k ->
+          Consensus.create rt ~name:(Fmt.str "%s.slot[%d]" name k) ~omega);
+    spec;
+    replicas =
+      Array.init n (fun _ ->
+          { state = spec.Seq_spec.initial; applied = 0; responses = [] });
+    sequence = Array.make n 0;
+  }
+
+let apply_decided t replica decided =
+  let op_id, op = Value.to_pair decided in
+  let state', response = Seq_spec.apply_exn t.spec replica.state op in
+  replica.state <- state';
+  replica.applied <- replica.applied + 1;
+  replica.responses <- (op_id, response) :: replica.responses
+
+let sync t =
+  let pid = Runtime.self () in
+  let replica = t.replicas.(pid) in
+  let continue_sync = ref true in
+  while !continue_sync do
+    if replica.applied >= Array.length t.slots then continue_sync := false
+    else
+      match Consensus.read_decision t.slots.(replica.applied) with
+      | Some decided -> apply_decided t replica decided
+      | None -> continue_sync := false
+  done
+
+let submit t op =
+  let pid = Runtime.self () in
+  let replica = t.replicas.(pid) in
+  t.sequence.(pid) <- t.sequence.(pid) + 1;
+  let op_id = Value.Pair (Int pid, Int t.sequence.(pid)) in
+  let proposal = Value.Pair (op_id, op) in
+  let result = ref None in
+  while !result = None do
+    if replica.applied >= Array.length t.slots then
+      failwith "Replicated.submit: log is full";
+    (* Propose our operation in the next unapplied slot; the decided value
+       may be someone else's operation — apply it and move on. *)
+    let decided = Consensus.propose t.slots.(replica.applied) proposal in
+    apply_decided t replica decided;
+    let decided_id, _ = Value.to_pair decided in
+    if Value.equal decided_id op_id then
+      result :=
+        Some
+          (match replica.responses with
+          | (_, response) :: _ -> response
+          | [] -> assert false)
+  done;
+  Option.get !result
+
+let local_state t ~pid = t.replicas.(pid).state
+let applied t ~pid = t.replicas.(pid).applied

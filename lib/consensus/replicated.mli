@@ -1,0 +1,41 @@
+(** State-machine replication over repeated consensus.
+
+    A bounded log of consensus slots, each deciding one operation of a
+    sequential type ({!Tbwf_objects.Seq_spec}). Every process keeps a local
+    replica and applies decided slots in order; {!submit} proposes the
+    caller's operation in successive slots until one decides it, applying
+    the winners of lost slots along the way — the classic multi-consensus
+    construction, here driven end-to-end by Ω∆.
+
+    Safety (all replicas apply the same operation sequence, every response
+    is the sequential response at its slot) holds in every run; a submit by
+    process p terminates when p keeps taking steps and some timely process
+    exists (the consensus liveness condition, inherited slot by slot). *)
+
+type t
+
+val create :
+  Tbwf_sim.Runtime.t ->
+  name:string ->
+  omega:Consensus.Omega_adapter.t ->
+  spec:Tbwf_objects.Seq_spec.t ->
+  slots:int ->
+  t
+(** A log of [slots] consensus instances over one Ω∆. All processes must
+    share the same [t] (create it before spawning tasks). *)
+
+val submit : t -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+(** Run one operation through the replicated machine and return its
+    sequential response. Must run inside a task. Raises [Failure] if the
+    log runs out of slots. *)
+
+val sync : t -> unit
+(** Apply every already-decided slot to the caller's replica without
+    proposing anything (read-only catch-up). Must run inside a task. *)
+
+val local_state : t -> pid:int -> Tbwf_sim.Value.t
+(** [pid]'s replica state (zero-step; reflects the slots that process has
+    applied so far). *)
+
+val applied : t -> pid:int -> int
+(** Number of slots [pid] has applied. *)

@@ -1,0 +1,62 @@
+open Tbwf_sim
+open Tbwf_registers
+
+type t = {
+  n : int;
+  choosing : bool Atomic_reg.t array;
+  tickets : int Atomic_reg.t array;  (* 0 = not competing *)
+}
+
+let create rt ~name =
+  let n = Runtime.n rt in
+  {
+    n;
+    choosing =
+      Array.init n (fun i ->
+          Atomic_reg.create rt
+            ~name:(Fmt.str "%s.choosing[%d]" name i)
+            ~codec:Codec.bool ~init:false);
+    tickets =
+      Array.init n (fun i ->
+          Atomic_reg.create rt
+            ~name:(Fmt.str "%s.ticket[%d]" name i)
+            ~codec:Codec.int ~init:0);
+  }
+
+let lock t =
+  let pid = Runtime.self () in
+  Atomic_reg.write t.choosing.(pid) true;
+  let highest = ref 0 in
+  for q = 0 to t.n - 1 do
+    let ticket = Atomic_reg.read t.tickets.(q) in
+    if ticket > !highest then highest := ticket
+  done;
+  Atomic_reg.write t.tickets.(pid) (!highest + 1);
+  Atomic_reg.write t.choosing.(pid) false;
+  for q = 0 to t.n - 1 do
+    if q <> pid then begin
+      (* Wait for q to finish choosing, then wait until our (ticket, pid)
+         is smaller than q's. Both waits re-read shared registers, so they
+         consume steps and observe updates. *)
+      let rec wait_choosing () =
+        if Atomic_reg.read t.choosing.(q) then wait_choosing ()
+      in
+      wait_choosing ();
+      let my_ticket = Atomic_reg.peek t.tickets.(pid) in
+      let rec wait_turn () =
+        let ticket_q = Atomic_reg.read t.tickets.(q) in
+        if ticket_q <> 0 && (ticket_q, q) < (my_ticket, pid) then wait_turn ()
+      in
+      wait_turn ()
+    end
+  done
+
+let unlock t =
+  let pid = Runtime.self () in
+  Atomic_reg.write t.tickets.(pid) 0
+
+let with_lock t f =
+  lock t;
+  let result = f () in
+  unlock t;
+  result

@@ -1,0 +1,84 @@
+open Tbwf_sim
+open Tbwf_omega
+open Tbwf_monitor
+open Tbwf_objects
+
+let retry_invoke qa op =
+  let next = ref `Op in
+  let result = ref None in
+  while !result = None do
+    let res =
+      match !next with
+      | `Op -> qa.Qa_intf.invoke op
+      | `Query -> qa.Qa_intf.query ()
+    in
+    match res with
+    | Value.Abort -> next := `Query
+    | Value.Fail -> next := `Op
+    | response -> result := Some response
+  done;
+  Option.get !result
+
+module Naive_booster = struct
+  type t = {
+    handles : Omega_spec.handle array;
+    monitors : Activity_monitor.t option array array;
+  }
+
+  (* Like Figure 3's loop but with the two gracefully-degrading ingredients
+     removed: no CounterRegister (so no punishments, no self-punishment) and
+     leadership by smallest active pid. *)
+  let election_loop t p n =
+    let handle = t.handles.(p) in
+    let monitor q = Option.get t.monitors.(p).(q) in
+    let active_for q = (Option.get t.monitors.(q).(p)).Activity_monitor.active_for in
+    let others = List.filter (fun q -> q <> p) (List.init n Fun.id) in
+    while true do
+      handle.Omega_spec.leader := Omega_spec.No_leader;
+      List.iter (fun q -> (monitor q).Activity_monitor.monitoring := false) others;
+      List.iter (fun q -> active_for q := false) others;
+      Runtime.await (fun () -> !(handle.Omega_spec.candidate));
+      List.iter (fun q -> (monitor q).Activity_monitor.monitoring := true) others;
+      while !(handle.Omega_spec.candidate) do
+        let leader = ref p in
+        List.iter
+          (fun q ->
+            let mon = monitor q in
+            Runtime.await (fun () ->
+                not
+                  (Activity_monitor.equal_status
+                     !(mon.Activity_monitor.status)
+                     Activity_monitor.Unknown));
+            if
+              Activity_monitor.equal_status
+                !(mon.Activity_monitor.status)
+                Activity_monitor.Active
+              && q < !leader
+            then leader := q)
+          others;
+        handle.Omega_spec.leader := Omega_spec.Leader !leader;
+        let am_leader = !leader = p in
+        List.iter (fun q -> active_for q := am_leader) others;
+        Runtime.yield ()
+      done
+    done
+
+  let install rt =
+    let n = Runtime.n rt in
+    (* Doubling timeout: the aggressive adaptation that eventually trusts a
+       decelerating process forever (see Activity_monitor.install). *)
+    let adapt timeout = 2 * timeout in
+    let monitors =
+      Array.init n (fun p ->
+          Array.init n (fun q ->
+              if p = q then None
+              else Some (Activity_monitor.install ~adapt rt ~p ~q)))
+    in
+    let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
+    let t = { handles; monitors } in
+    for p = 0 to n - 1 do
+      Runtime.spawn rt ~pid:p ~name:(Fmt.str "naive-boost[%d]" p) (fun () ->
+          election_loop t p n)
+    done;
+    t
+end

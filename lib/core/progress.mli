@@ -1,0 +1,45 @@
+(** Progress-condition checkers (paper Definition 3 and Section 1.1).
+
+    Over a finite run we check finite proxies of the liveness conditions:
+
+    - {e timeliness-based wait-freedom}: every process that is empirically
+      timely in the run completed every operation it issued (for finite
+      workloads) or kept completing operations (for endless ones);
+    - {e obstruction-freedom}: a process that runs solo from some point on
+      completes operations during the solo suffix;
+    - {e lock-freedom}: some process keeps completing operations. *)
+
+type process_report = {
+  pid : int;
+  timely : bool;  (** empirical classification (Definitions 1–2) *)
+  issued : int;
+  completed : int;
+}
+
+val reports :
+  Tbwf_sim.Trace.t ->
+  n:int ->
+  stats:Workload.stats ->
+  from_step:int ->
+  bound:int ->
+  process_report list
+(** Classify each process with {!Tbwf_sim.Timeliness} over the trace suffix
+    and pair it with its workload counts. *)
+
+val tbwf_holds_finite : process_report list -> bool
+(** TBWF for finite workloads: every timely process finished everything it
+    issued. *)
+
+val tbwf_holds_endless :
+  before:Workload.stats -> after:Workload.stats -> timely:int list -> bool
+(** TBWF for endless workloads: every timely process completed strictly more
+    operations in [after] than in [before]. *)
+
+val lock_freedom_holds :
+  before:Workload.stats -> after:Workload.stats -> bool
+(** Some process completed an operation between the two snapshots. *)
+
+val snapshot : Workload.stats -> Workload.stats
+(** Deep copy of the counters, for before/after comparisons. *)
+
+val pp_report : Format.formatter -> process_report -> unit

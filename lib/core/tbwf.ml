@@ -1,0 +1,46 @@
+open Tbwf_sim
+open Tbwf_omega
+open Tbwf_objects
+
+type t = {
+  qa : Qa_intf.t;
+  omega_handles : Omega_spec.handle array;
+  canonical : bool;
+}
+
+let make ~qa ~omega_handles ?(canonical = true) () =
+  { qa; omega_handles; canonical }
+
+type attempt = Run_op | Run_query
+
+(* Figure 7, procedure invoke(op, O, T). *)
+let invoke t op =
+  let pid = Runtime.self () in
+  let handle = t.omega_handles.(pid) in
+  let is_leader () =
+    Omega_spec.equal_view !(handle.Omega_spec.leader) (Omega_spec.Leader pid)
+  in
+  if t.canonical then Runtime.await (fun () -> not (is_leader ()));
+  handle.Omega_spec.candidate := true;
+  let next = ref Run_op in
+  let result = ref None in
+  while !result = None do
+    if is_leader () then begin
+      let res =
+        match !next with
+        | Run_op -> t.qa.Qa_intf.invoke op
+        | Run_query -> t.qa.Qa_intf.query ()
+      in
+      match res with
+      | Value.Abort -> next := Run_query
+      | Value.Fail -> next := Run_op
+      | response ->
+        handle.Omega_spec.candidate := false;
+        result := Some response
+    end
+    else Runtime.yield ()
+  done;
+  Option.get !result
+
+let qa t = t.qa
+let handles t = t.omega_handles

@@ -1,0 +1,35 @@
+(** The timeliness-based wait-free universal construction — paper Section 7,
+    Figure 7 (Theorems 14–15).
+
+    Given a wait-free query-abortable object O_QA (any {!Tbwf_objects.Qa_intf.t})
+    and the dynamic leader elector Ω∆, [invoke] executes an operation of the
+    underlying type T so that every process that is timely in the run
+    completes each of its operations in a finite number of its own steps
+    (Definition 3) — no matter how slow or unstable the other processes are.
+
+    The protocol per operation (Figure 8's automaton):
+    + wait until [leader ≠ self] — the canonical-use guard (Definition 6)
+      that keeps one timely process from monopolizing the object;
+    + become a candidate;
+    + whenever elected leader, run the op against O_QA: a normal response
+      finishes; ⊥ switches to [query] to learn the fate; F retries the op;
+    + on success, withdraw candidacy and return.
+
+    Pass [canonical:false] to reproduce the monopolization counterexample
+    discussed at the end of Section 7 (experiment E8). *)
+
+type t
+
+val make :
+  qa:Tbwf_objects.Qa_intf.t ->
+  omega_handles:Tbwf_omega.Omega_spec.handle array ->
+  ?canonical:bool ->
+  unit ->
+  t
+
+val invoke : t -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+(** Execute one operation of the underlying type; returns its response.
+    Must run inside a task; the calling process is [Runtime.self ()]. *)
+
+val qa : t -> Tbwf_objects.Qa_intf.t
+val handles : t -> Tbwf_omega.Omega_spec.handle array

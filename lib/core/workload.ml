@@ -1,0 +1,36 @@
+open Tbwf_sim
+
+type stats = {
+  issued : int array;
+  completed : int array;
+  last_response : Value.t option array;
+}
+
+let fresh_stats ~n =
+  {
+    issued = Array.make n 0;
+    completed = Array.make n 0;
+    last_response = Array.make n None;
+  }
+
+let spawn_clients rt ~pids ~stats ~invoke ~next_op =
+  let client pid () =
+    let rec loop k =
+      match next_op ~pid ~k with
+      | None -> ()
+      | Some op ->
+        stats.issued.(pid) <- stats.issued.(pid) + 1;
+        let response = invoke op in
+        stats.completed.(pid) <- stats.completed.(pid) + 1;
+        stats.last_response.(pid) <- Some response;
+        loop (k + 1)
+    in
+    loop 0
+  in
+  List.iter
+    (fun pid -> Runtime.spawn rt ~pid ~name:"client" (client pid))
+    pids
+
+let forever op ~pid:_ ~k:_ = Some op
+
+let n_times n op ~pid:_ ~k = if k < n then Some op else None

@@ -1,0 +1,28 @@
+(** Client workload drivers: spawn per-process client tasks that issue
+    operations through a shared-object front-end and count completions. *)
+
+type stats = {
+  issued : int array;  (** ops started, per pid *)
+  completed : int array;  (** ops finished, per pid *)
+  last_response : Tbwf_sim.Value.t option array;
+}
+
+val fresh_stats : n:int -> stats
+
+val spawn_clients :
+  Tbwf_sim.Runtime.t ->
+  pids:int list ->
+  stats:stats ->
+  invoke:(Tbwf_sim.Value.t -> Tbwf_sim.Value.t) ->
+  next_op:(pid:int -> k:int -> Tbwf_sim.Value.t option) ->
+  unit
+(** Spawn one client task per pid. Client [p] repeatedly asks
+    [next_op ~pid:p ~k] for its k-th operation (k starts at 0) and runs it
+    through [invoke], updating [stats]; it stops when [next_op] returns
+    [None]. *)
+
+val forever : Tbwf_sim.Value.t -> pid:int -> k:int -> Tbwf_sim.Value.t option
+(** An endless stream of the same operation. *)
+
+val n_times : int -> Tbwf_sim.Value.t -> pid:int -> k:int -> Tbwf_sim.Value.t option
+(** The same operation, [n] times, then stop. *)

@@ -1,0 +1,127 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_core
+open Tbwf_objects
+
+let scheduler_steps steps () =
+  let rt = Runtime.create ~seed:101L ~n:4 () in
+  for pid = 0 to 3 do
+    Runtime.spawn rt ~pid ~name:"spin" (fun () ->
+        while true do
+          Runtime.yield ()
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop rt
+
+let atomic_register_ops steps () =
+  let rt = Runtime.create ~seed:102L ~n:4 () in
+  let reg = Atomic_reg.create rt ~name:"r" ~codec:Codec.int ~init:0 in
+  for pid = 0 to 3 do
+    Runtime.spawn rt ~pid ~name:"rw" (fun () ->
+        while true do
+          let v = Atomic_reg.read reg in
+          Atomic_reg.write reg (v + 1)
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop rt
+
+let abortable_register_ops steps () =
+  let rt = Runtime.create ~seed:103L ~n:2 () in
+  let reg =
+    Abortable_reg.create rt ~name:"r" ~codec:Codec.int ~init:0 ~writer:0
+      ~reader:1 ~policy:Abort_policy.Always ()
+  in
+  Runtime.spawn rt ~pid:0 ~name:"w" (fun () ->
+      let k = ref 0 in
+      while true do
+        incr k;
+        let (_ : bool) = Abortable_reg.write reg !k in
+        ()
+      done);
+  Runtime.spawn rt ~pid:1 ~name:"r" (fun () ->
+      while true do
+        let (_ : int option) = Abortable_reg.read reg in
+        ()
+      done);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop rt
+
+let qa_object_ops steps () =
+  let rt = Runtime.create ~seed:104L ~n:4 () in
+  let qa =
+    Qa_object.create rt ~name:"qa" ~spec:Counter.spec
+      ~policy:Abort_policy.Always ()
+  in
+  for pid = 0 to 3 do
+    Runtime.spawn rt ~pid ~name:"apply" (fun () ->
+        while true do
+          let (_ : Value.t) = qa.Qa_intf.invoke Counter.inc in
+          let (_ : Value.t) = qa.Qa_intf.query () in
+          ()
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop rt
+
+let full_tbwf_ops steps () =
+  let stack =
+    Scenario.build ~seed:105L ~n:4 ~omega:Scenario.Omega_atomic
+      ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:[ 0; 1; 2; 3 ] ()
+  in
+  Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop stack.Scenario.rt
+
+let layers =
+  [
+    "scheduler (yield only)", scheduler_steps;
+    "atomic register read/write", atomic_register_ops;
+    "abortable register (always-abort)", abortable_register_ops;
+    "query-abortable object", qa_object_ops;
+    "full TBWF op (election + QA)", full_tbwf_ops;
+  ]
+
+let runners = List.map (fun (label, f) -> label, f 20_000) layers
+
+type row = { layer : string; steps : int; seconds : float; steps_per_sec : float }
+
+type result = { rows : row list }
+
+let compute ?(quick = false) () =
+  let steps = if quick then 20_000 else 200_000 in
+  let rows =
+    List.map
+      (fun (layer, f) ->
+        let start = Sys.time () in
+        f steps ();
+        let seconds = Sys.time () -. start in
+        {
+          layer;
+          steps;
+          seconds;
+          steps_per_sec =
+            (if seconds <= 0.0 then 0.0 else float_of_int steps /. seconds);
+        })
+      layers
+  in
+  { rows }
+
+let report fmt result =
+  let table =
+    Table.create ~title:"E10: simulator throughput per stack layer"
+      ~columns:[ "layer"; "steps"; "seconds"; "steps/sec" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          row.layer;
+          Table.cell_int row.steps;
+          Fmt.str "%.3f" row.seconds;
+          Fmt.str "%.0f" row.steps_per_sec;
+        ])
+    result.rows;
+  Table.print fmt table

@@ -1,0 +1,19 @@
+(** E10 — cost of the stack (engineering numbers, not a paper claim).
+
+    Micro-workloads exercising each layer: raw scheduler steps, atomic
+    register operations, abortable register operations, query-abortable
+    object operations, and a full TBWF operation including leader election.
+    [runners] exposes them as thunks for the bechamel harness in
+    [bench/main.ml]; [compute]/[report] give a coarse self-timed table for
+    the experiments binary. *)
+
+val runners : (string * (unit -> unit)) list
+(** Each thunk builds a small scenario and runs a fixed number of steps;
+    label describes the layer exercised. *)
+
+type row = { layer : string; steps : int; seconds : float; steps_per_sec : float }
+
+type result = { rows : row list }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

@@ -1,0 +1,50 @@
+(** E12 — five routes to progress on the same object (paper §1.2 and
+    reference [10]).
+
+    The deque of Herlihy–Luchangco–Moir implemented five ways:
+
+    - {e direct obstruction-free} from CAS cells ({!Tbwf_objects.Hlm_deque},
+      the algorithm of reference [10]);
+    - {e lock-free} via the classic CAS state-cell universal construction
+      ({!Tbwf_objects.Cas_universal});
+    - {e wait-free from strong primitives} via Herlihy-style helping
+      ({!Tbwf_objects.Herlihy_universal}) — §1.2's "well-known" route [9];
+    - {e blocking} behind Lamport's bakery lock ({!Tbwf_core.Bakery});
+    - {e timeliness-based wait-free} from abortable registers (this paper's
+      Figure 7 stack).
+
+    Three schedules:
+    - {b contended}: n = 4 timely processes hammering the deque round-robin
+      — raw throughput, where strong primitives shine;
+    - {b asymmetric}: two processes, {e both timely}, but the victim takes
+      one step for every seven of the attacker. Under the CAS routes the
+      victim's read-apply-CAS window always contains a completed update by
+      the attacker, so it loses every race, forever — lock-freedom and
+      obstruction-freedom permit exactly this. The bakery's FIFO tickets
+      and TBWF's canonical leader rotation both protect it.
+    - {b frozen}: one process stops taking steps mid-protocol. The three
+      non-blocking routes shrug; the lock-based route deadlocks the entire
+      system behind the frozen ticket-holder.
+
+    The point in one table: unconditional per-process progress under
+    failures is available from CAS (Herlihy) or — for timely processes,
+    from registers weaker than safe (TBWF). The OF/lock-free CAS routes
+    trade that guarantee for speed; the lock trades robustness for
+    fairness. *)
+
+type row = {
+  implementation : string;
+  scenario : string;
+  per_pid : int array;  (** completed ops per process *)
+  total : int;
+  victim_ops : int option;  (** asymmetric scenario: the slow process's ops *)
+}
+
+type result = {
+  rows : row list;
+  tbwf_protects_victim : bool;
+      (** victim completes ops under TBWF but not under either CAS route *)
+}
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

@@ -1,0 +1,37 @@
+(** E13 — failure detection under partial timeliness (paper §1.2, §2).
+
+    The paper contrasts Ω∆ with the eventually perfect detector I3P/◊P
+    used by the boosting of [8]: ◊P needs {e all} correct processes timely
+    to stabilize, while Ω∆ only needs {e some} timely candidate.
+
+    One run, three phases sampled over time, with a decelerating (correct,
+    never-stopping, non-timely) process and a crashing process among timely
+    observers. Measured per window:
+
+    - ◊P: suspicion flip-flops of the decelerating process at a timely
+      observer — they never stop (accuracy fails forever);
+    - ◊P: the crashed process stays suspected once detected (completeness
+      holds — the detector is not broken, its accuracy promise is);
+    - Ω∆ (same run style): the leader view's changes — they stop. *)
+
+type row = {
+  window : int * int;  (** step interval *)
+  dp_flips_slow : int;
+      (** ◊P suspicion changes of the decelerating process at observer 1 *)
+  dp_crashed_suspected : bool;  (** crashed process suspected all window *)
+  omega_leader_changes : int;  (** Ω∆ leader-view changes at observer 1 *)
+}
+
+type result = {
+  rows : row list;
+  dp_never_stabilizes : bool;  (** flips still occur in the last quarter *)
+  dp_complete : bool;
+      (** crashed process suspected throughout the second half *)
+  omega_stabilizes : bool;
+      (** Ω∆'s output changes are several times rarer than ◊P's flips
+          overall, with at most one change in the last quarter and strictly
+          fewer than ◊P's flips there *)
+}
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

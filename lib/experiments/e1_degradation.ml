@@ -1,0 +1,85 @@
+open Tbwf_core
+open Tbwf_objects
+
+type row = {
+  k : int;
+  timely_min : int;
+  timely_mean : float;
+  untimely_mean : float;
+  tbwf_holds : bool;
+  lock_free : bool;
+}
+
+type result = { n : int; steps : int; rows : row list }
+
+let mean = function
+  | [] -> 0.0
+  | xs -> float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+
+let run_config ~n ~steps ~k ~seed =
+  (* Untimely processes get the low pids: they would win every pid
+     tie-break, so this is the adversarial placement. *)
+  let timely = List.init k (fun i -> n - 1 - i) in
+  let stack =
+    Scenario.build ~seed ~n ~omega:Scenario.Omega_atomic ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:(List.init n Fun.id) ()
+  in
+  let policy = Scenario.degraded_policy ~n ~timely () in
+  Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
+  let mid = Progress.snapshot stack.Scenario.stats in
+  Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
+  Tbwf_sim.Runtime.stop stack.Scenario.rt;
+  let completed pid = stack.Scenario.stats.Workload.completed.(pid) in
+  let timely_counts = List.map completed timely in
+  let untimely_counts =
+    List.filter_map
+      (fun pid -> if List.mem pid timely then None else Some (completed pid))
+      (List.init n Fun.id)
+  in
+  {
+    k;
+    timely_min = List.fold_left min max_int (max_int :: timely_counts);
+    timely_mean = mean timely_counts;
+    untimely_mean = mean untimely_counts;
+    tbwf_holds =
+      (k = 0)
+      || Progress.tbwf_holds_endless ~before:mid ~after:stack.Scenario.stats
+           ~timely;
+    lock_free =
+      (k = 0) || Progress.lock_freedom_holds ~before:mid ~after:stack.Scenario.stats;
+  }
+
+let compute ?(quick = false) () =
+  let n = if quick then 4 else 8 in
+  let steps = if quick then 60_000 else 240_000 in
+  let rows =
+    List.init (n + 1) (fun k ->
+        run_config ~n ~steps ~k ~seed:(Int64.of_int (1000 + k)))
+  in
+  { n; steps; rows }
+
+let report fmt result =
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E1: graceful degradation — TBWF counter, n=%d, %d steps, k timely \
+            processes vs (n-k) decelerating"
+           result.n result.steps)
+      ~columns:
+        [ "k"; "timely min ops"; "timely mean"; "untimely mean"; "TBWF"; "lock-free" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          Table.cell_int row.k;
+          (if row.k = 0 then "-" else Table.cell_int row.timely_min);
+          (if row.k = 0 then "-" else Table.cell_float row.timely_mean);
+          (if row.k = result.n then "-" else Table.cell_float row.untimely_mean);
+          Table.cell_bool row.tbwf_holds;
+          Table.cell_bool row.lock_free;
+        ])
+    result.rows;
+  Table.print fmt table

@@ -1,0 +1,25 @@
+(** E1 — the graceful degradation curve (paper §1.1).
+
+    n processes share one TBWF counter and issue endless increments; k of
+    them are timely, the rest flicker with unboundedly growing sleeps. As k
+    goes from 0 to n the progress guarantee goes from obstruction-freedom
+    (k = 0: nothing promised under contention) through "k processes are
+    guaranteed to progress" up to wait-freedom (k = n). The paper's
+    qualitative prediction: every timely process keeps completing
+    operations at a healthy rate regardless of how many non-timely
+    processes flicker around it. *)
+
+type row = {
+  k : int;  (** number of timely processes *)
+  timely_min : int;  (** fewest ops completed by any timely process *)
+  timely_mean : float;
+  untimely_mean : float;
+  tbwf_holds : bool;
+      (** every timely process kept completing ops in the second half *)
+  lock_free : bool;  (** someone kept completing ops in the second half *)
+}
+
+type result = { n : int; steps : int; rows : row list }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

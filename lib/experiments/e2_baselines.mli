@@ -1,0 +1,30 @@
+(** E2 — graceful vs non-graceful degradation (paper §1.2, §2).
+
+    Same workload (endless counter increments, one flickering non-timely
+    process with the smallest pid, the rest timely) run over three systems:
+
+    - TBWF (this paper): the flickering process is punished out of
+      leadership; timely processes keep a steady completion rate;
+    - a naive booster in the style of [7, 8, 11] (leadership to the smallest
+      alive-looking pid, no punishment): every time the flickerer looks
+      alive it recaptures leadership, and the failure detector's adaptive
+      timeout makes each such capture stall everyone for longer — per-
+      segment completions of the timely processes decay;
+    - plain obstruction-free retries (no boosting at all) under the
+      always-abort adversary: contention livelocks everyone.
+
+    The paper's prediction: only TBWF lets the timely majority's progress
+    survive the loss of one process's timeliness. *)
+
+type row = {
+  system : string;
+  timely_total : int;  (** ops completed by timely processes, whole run *)
+  untimely_total : int;
+  first_segment : int;  (** timely ops in the first run segment *)
+  last_segment : int;  (** timely ops in the last run segment *)
+}
+
+type result = { n : int; segments : int; segment_steps : int; rows : row list }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

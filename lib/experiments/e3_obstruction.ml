@@ -1,0 +1,91 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_core
+open Tbwf_objects
+
+type row = {
+  system : string;
+  solo_pid : int;
+  ops_before_solo : int;
+  ops_in_solo : int;
+  solo_progress : bool;
+}
+
+type result = { n : int; rows : row list; all_pass : bool }
+
+let run_one ~system ~n ~solo_pid ~contention_steps ~solo_steps ~seed
+    ~make_invoke =
+  let rt = Runtime.create ~seed ~n () in
+  let invoke = make_invoke rt in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
+    ~next_op:(Workload.forever Counter.inc);
+  let policy = Policy.solo_after ~n ~pid:solo_pid ~step:contention_steps in
+  Runtime.run rt ~policy ~steps:contention_steps;
+  let before = stats.Workload.completed.(solo_pid) in
+  Runtime.run rt ~policy ~steps:solo_steps;
+  Runtime.stop rt;
+  let ops_in_solo = stats.Workload.completed.(solo_pid) - before in
+  {
+    system;
+    solo_pid;
+    ops_before_solo = before;
+    ops_in_solo;
+    solo_progress = ops_in_solo > 0;
+  }
+
+let tbwf_invoke rt =
+  let handles = (Tbwf_omega.Omega_registers.install rt).handles in
+  let qa =
+    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
+      ~policy:Abort_policy.Always ()
+  in
+  Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
+
+let retry_invoke rt =
+  let qa =
+    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
+      ~policy:Abort_policy.Always ()
+  in
+  Baselines.retry_invoke qa
+
+let compute ?(quick = false) () =
+  let n = 4 in
+  let contention_steps = if quick then 10_000 else 40_000 in
+  let solo_steps = if quick then 20_000 else 60_000 in
+  let pids = if quick then [ 0; 2 ] else List.init n Fun.id in
+  let rows =
+    List.concat_map
+      (fun solo_pid ->
+        [
+          run_one ~system:"TBWF" ~n ~solo_pid ~contention_steps ~solo_steps
+            ~seed:31L ~make_invoke:tbwf_invoke;
+          run_one ~system:"retry" ~n ~solo_pid ~contention_steps ~solo_steps
+            ~seed:31L ~make_invoke:retry_invoke;
+        ])
+      pids
+  in
+  { n; rows; all_pass = List.for_all (fun r -> r.solo_progress) rows }
+
+let report fmt result =
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E3: obstruction-freedom — n=%d, always-abort adversary; each row \
+            gives one process a solo suffix" result.n)
+      ~columns:
+        [ "system"; "solo pid"; "ops before solo"; "ops in solo"; "progress" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          row.system;
+          Table.cell_int row.solo_pid;
+          Table.cell_int row.ops_before_solo;
+          Table.cell_int row.ops_in_solo;
+          Table.cell_bool row.solo_progress;
+        ])
+    result.rows;
+  Table.print fmt table

@@ -1,0 +1,23 @@
+(** E3 — TBWF implies obstruction-freedom (paper §1.1).
+
+    Under the always-abort adversary, a contention phase is followed by a
+    suffix in which a single process runs solo. Whatever happened during
+    contention, the solo process must complete operations during its solo
+    suffix — that is obstruction-freedom, and the paper argues every TBWF
+    implementation has it (a solo process is trivially timely, because
+    timeliness is relative to the other processes' steps). We check it for
+    each choice of the solo process, for both the TBWF stack and the plain
+    retry baseline. *)
+
+type row = {
+  system : string;
+  solo_pid : int;
+  ops_before_solo : int;  (** solo pid's completions during contention *)
+  ops_in_solo : int;  (** solo pid's completions during the solo suffix *)
+  solo_progress : bool;
+}
+
+type result = { n : int; rows : row list; all_pass : bool }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

@@ -1,0 +1,19 @@
+(** E5 — Ω∆ from abortable registers (Figures 4–6, Theorem 13).
+
+    The same scenario family as E4 run over the abortable-register
+    implementation, across increasingly hostile abort policies, plus the
+    measured abort rate of the register mesh — showing the election still
+    stabilizes when most concurrent register operations abort. *)
+
+type policy_block = {
+  policy_name : string;
+  rows : E4_omega_atomic.row list;
+  abort_rate : float;
+      (** aggregate aborted-ops / total-ops across the message and heartbeat
+          registers in the all-timely n=4 scenario *)
+}
+
+type result = { blocks : policy_block list; all_pass : bool }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

@@ -1,0 +1,23 @@
+(** E6 — activity-monitor specification matrix (Definition 9, Figure 2).
+
+    One monitor A(p,q) with p = 0, q = 1, driven through the input/behaviour
+    combinations that Definition 9 constrains, one row per property:
+
+    - status properties 1–4 (eventual value of [status]);
+    - faultCntr properties 5(a)–5(d) (boundedness) and 6 (unbounded growth).
+
+    Inputs can be eventually-on, eventually-off or oscillate forever; q can
+    be timely, non-timely (flickering schedule) or crash mid-run. *)
+
+type row = {
+  property : string;
+  scenario : string;
+  expected : string;
+  observed : string;
+  pass : bool;
+}
+
+type result = { rows : row list; all_pass : bool }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

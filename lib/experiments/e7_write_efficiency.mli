@@ -1,0 +1,22 @@
+(** E7 — write-efficiency of the register-based Ω∆ (end of paper §5.2).
+
+    "If Pcandidates ∩ Timely ≠ ∅ then there is a time after which the only
+    processes that write to shared registers are the leader and processes in
+    Rcandidates." We run a stabilizing election (permanent timely candidates
+    and optionally repeated candidates), then count, per window of steps,
+    which processes performed successful shared-register writes. The
+    prediction: the writer set shrinks to {leader} ∪ Rcandidates. *)
+
+type window = { from_step : int; to_step : int; writers : int list }
+
+type result = {
+  n : int;
+  elected : int option;
+  rcands : int list;
+  windows : window list;
+  final_writers_ok : bool;
+      (** the last window's writers ⊆ {leader} ∪ Rcandidates *)
+}
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

@@ -1,0 +1,21 @@
+(** E8 — why the canonical use of Ω∆ matters (paper §7 and Definition 6).
+
+    Figure 7's line 2 makes each process wait until it is no longer the
+    leader before competing again. Without it, the paper notes, one timely
+    process could win every election and monopolize the object. We run the
+    same all-timely workload with and without the wait and compare how
+    fairly completions are distributed (min/max ratio across processes:
+    1.0 is perfectly fair, near 0 is monopolized). *)
+
+type row = {
+  variant : string;
+  per_pid : int array;
+  min_ops : int;
+  max_ops : int;
+  fairness : float;  (** min/max; 0 when max is 0 *)
+}
+
+type result = { n : int; rows : row list; canonical_fairer : bool }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

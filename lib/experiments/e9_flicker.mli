@@ -1,0 +1,21 @@
+(** E9 — flicker resilience of Ω∆ (paper §4: "this is guaranteed even if
+    several processes that compete for leadership flicker forever").
+
+    A stress mix: one non-timely permanent candidate on the smallest pid,
+    several repeated candidates that join and leave forever, permanent
+    timely candidates, and non-candidates — under both Ω∆ implementations.
+    Expected: a timely permanent candidate is elected and each class's view
+    settles per Theorem 7. *)
+
+type row = {
+  implementation : string;
+  elected : int option;
+  elected_ok : bool;
+  stabilization_step : int option;
+  violations : string list;
+}
+
+type result = { n : int; rows : row list; all_pass : bool }
+
+val compute : ?quick:bool -> unit -> result
+val report : Format.formatter -> result -> unit

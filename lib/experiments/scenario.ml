@@ -1,0 +1,78 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+open Tbwf_objects
+open Tbwf_core
+
+type omega_impl =
+  | Omega_atomic
+  | Omega_abortable of Abort_policy.t
+  | Omega_naive
+
+let pp_omega_impl fmt = function
+  | Omega_atomic -> Fmt.string fmt "atomic-registers"
+  | Omega_abortable policy ->
+    Fmt.pf fmt "abortable-registers(%a)" Abort_policy.pp policy
+  | Omega_naive -> Fmt.string fmt "naive-booster"
+
+type stack = {
+  rt : Runtime.t;
+  handles : Omega_spec.handle array;
+  qa : Qa_intf.t;
+  tbwf : Tbwf.t;
+  stats : Workload.stats;
+}
+
+let build ?(seed = 0xC0FFEEL) ?(canonical = true) ?(qa_universal = false)
+    ?(qa_policy = Abort_policy.Always) ~n ~omega ~spec ~next_op ~client_pids
+    () =
+  let rt = Runtime.create ~seed ~n () in
+  let handles =
+    match omega with
+    | Omega_atomic -> (Omega_registers.install rt).Omega_registers.handles
+    | Omega_abortable policy ->
+      (Omega_abortable.install rt ~policy ()).Omega_abortable.handles
+    | Omega_naive -> (Baselines.Naive_booster.install rt).Baselines.Naive_booster.handles
+  in
+  let qa =
+    if qa_universal then
+      Qa_universal.create rt ~name:(spec.Seq_spec.name ^ "-qa") ~spec
+        ~policy:qa_policy ()
+    else
+      Qa_object.create rt ~name:(spec.Seq_spec.name ^ "-qa") ~spec
+        ~policy:qa_policy ()
+  in
+  let tbwf = Tbwf.make ~qa ~omega_handles:handles ~canonical () in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:client_pids ~stats ~invoke:(Tbwf.invoke tbwf)
+    ~next_op;
+  { rt; handles; qa; tbwf; stats }
+
+let degraded_policy ?(untimely_pattern = `Slowing (60, 1.15)) ~n ~timely () =
+  let k = max 1 (List.length timely) in
+  let untimely =
+    match untimely_pattern with
+    | `Flicker (active, sleep, growth) -> Policy.Flicker { active; sleep; growth }
+    | `Slowing (initial_gap, growth) ->
+      (* Burst sized so each visit yields at least one heartbeat write even
+         with a full monitor mesh multiplexed onto the process. *)
+      Policy.Slowing { initial_gap; growth; burst = 8 * n }
+  in
+  let pattern pid =
+    (* A strict rotation: every step is claimed by some timely process, so
+       the interleaving is perfectly adversarial for unboosted retries. *)
+    match List.find_index (fun p -> p = pid) timely with
+    | Some i -> Policy.Every { period = k; offset = i }
+    | None -> untimely
+  in
+  Policy.of_patterns ~name:"degraded" (List.init n (fun pid -> pid, pattern pid))
+
+let run_sampled stack ~policy ~segments ~segment_steps =
+  let samples = ref [] in
+  for _seg = 1 to segments do
+    Runtime.run stack.rt ~policy ~steps:segment_steps;
+    samples :=
+      Omega_spec.take_sample ~at_step:(Runtime.now stack.rt) stack.handles
+      :: !samples
+  done;
+  List.rev !samples

@@ -1,0 +1,78 @@
+open Tbwf_sim
+open Tbwf_registers
+
+(* Segment contents: (seq, value, embedded view as a List). *)
+type t = {
+  n : int;
+  segments : (Value.t * Value.t * Value.t) Atomic_reg.t array;
+}
+
+let segment_codec = Codec.triple Codec.value Codec.value Codec.value
+
+let create rt ~name ~init =
+  let n = Runtime.n rt in
+  {
+    n;
+    segments =
+      Array.init n (fun i ->
+          Atomic_reg.create rt
+            ~name:(Fmt.str "%s.seg[%d]" name i)
+            ~codec:segment_codec
+            ~init:(Value.Int 0, init, Value.List []));
+  }
+
+let collect t = Array.init t.n (fun i -> Atomic_reg.read t.segments.(i))
+
+let seq_of (seq, _, _) = Value.to_int seq
+let value_of (_, value, _) = value
+let view_of (_, _, view) = view
+
+let values_of_collect collect = Array.map value_of collect
+
+(* The scan loop: return on a clean double collect, or borrow the embedded
+   view of any segment observed moving twice. Terminates within n+1 rounds:
+   each dirty round marks at least one mover, and a second move of the same
+   process triggers the borrow. *)
+let scan_views t =
+  let moved = Array.make t.n 0 in
+  let rec round previous =
+    let current = collect t in
+    let movers =
+      List.filter
+        (fun i -> seq_of previous.(i) <> seq_of current.(i))
+        (List.init t.n Fun.id)
+    in
+    match movers with
+    | [] -> values_of_collect current
+    | _ -> (
+      let borrowed =
+        List.find_map
+          (fun i ->
+            if moved.(i) >= 1 then
+              match view_of current.(i) with
+              | Value.List items when List.length items = t.n ->
+                Some (Array.of_list items)
+              | _ -> None
+            else None)
+          movers
+      in
+      match borrowed with
+      | Some view -> view
+      | None ->
+        List.iter (fun i -> moved.(i) <- moved.(i) + 1) movers;
+        round current)
+  in
+  round (collect t)
+
+let scan t = scan_views t
+
+let update t value =
+  let pid = Runtime.self () in
+  let view = scan_views t in
+  let seq, _, _ = Atomic_reg.read t.segments.(pid) in
+  Atomic_reg.write t.segments.(pid)
+    ( Value.Int (Value.to_int seq + 1),
+      value,
+      Value.List (Array.to_list view) )
+
+let peek t = Array.map (fun seg -> value_of (Atomic_reg.peek seg)) t.segments

@@ -1,0 +1,33 @@
+(** Wait-free atomic single-writer snapshot from atomic registers
+    (Afek, Attiya, Dolev, Gafni, Merritt, Shavit, JACM 1993).
+
+    One segment per process; [update] overwrites the caller's segment and
+    [scan] returns a view of all segments that is {e atomic}: all returned
+    views are totally ordered, as if each scan read the whole memory in one
+    instant. A further substrate built only from the registers the paper
+    allows — used by the test suite as a register-hierarchy exercise and
+    available to applications (e.g. collecting the per-process completion
+    counters of a TBWF workload consistently).
+
+    The classic double-collect-with-helping construction: a scanner
+    collects all segments twice and returns on a clean double collect; a
+    segment that moves twice during one scan must contain an embedded view
+    taken entirely within that scan, which the scanner can borrow — making
+    [scan] (and hence [update], which embeds a scan) wait-free with O(n²)
+    register reads. *)
+
+type t
+
+val create :
+  Tbwf_sim.Runtime.t -> name:string -> init:Tbwf_sim.Value.t -> t
+(** One segment per process of the runtime, each initialized to [init]. *)
+
+val update : t -> Tbwf_sim.Value.t -> unit
+(** Overwrite the calling process's segment. Must run inside a task. *)
+
+val scan : t -> Tbwf_sim.Value.t array
+(** An atomic view of all segments, indexed by pid. Must run inside a
+    task. *)
+
+val peek : t -> Tbwf_sim.Value.t array
+(** Zero-step view for tests. *)

@@ -1,0 +1,16 @@
+open Tbwf_sim
+
+let read = Value.read_op
+let write v = Value.write_op v
+
+let spec ~init =
+  {
+    Seq_spec.name = "cell";
+    initial = init;
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Pair (Str "read", _) -> Some (state, state)
+        | Value.Pair (Str "write", v) -> Some (v, Value.Unit)
+        | _ -> None);
+  }

@@ -1,0 +1,6 @@
+(** Sequential read/write register cell over arbitrary values. *)
+
+val spec : init:Tbwf_sim.Value.t -> Seq_spec.t
+
+val read : Tbwf_sim.Value.t
+val write : Tbwf_sim.Value.t -> Tbwf_sim.Value.t

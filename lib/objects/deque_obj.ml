@@ -1,0 +1,30 @@
+open Tbwf_sim
+
+let push_left v = Value.Pair (Str "push-left", v)
+let push_right v = Value.Pair (Str "push-right", v)
+let pop_left = Value.Str "pop-left"
+let pop_right = Value.Str "pop-right"
+let empty_response = Value.Str "empty"
+
+let spec =
+  {
+    Seq_spec.name = "deque";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.List items, Value.Pair (Str "push-left", v) ->
+          Some (Value.List (v :: items), Value.Unit)
+        | Value.List items, Value.Pair (Str "push-right", v) ->
+          Some (Value.List (items @ [ v ]), Value.Unit)
+        | Value.List [], Value.Str ("pop-left" | "pop-right") ->
+          Some (state, empty_response)
+        | Value.List (leftmost :: rest), Value.Str "pop-left" ->
+          Some (Value.List rest, leftmost)
+        | Value.List items, Value.Str "pop-right" -> (
+          match List.rev items with
+          | rightmost :: rest_rev ->
+            Some (Value.List (List.rev rest_rev), rightmost)
+          | [] -> None)
+        | _ -> None);
+  }

@@ -1,0 +1,15 @@
+(** Sequential double-ended queue — the object of the paper's reference
+    [10] (Herlihy, Luchangco, Moir: "Obstruction-free synchronization:
+    double-ended queues as an example", ICDCS 2003).
+
+    Pops return the removed value or the sentinel [Str "empty"]. This spec
+    is what the TBWF universal construction runs; the direct register-level
+    obstruction-free implementation of [10] lives in {!Hlm_deque}. *)
+
+val spec : Seq_spec.t
+
+val push_left : Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val push_right : Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val pop_left : Tbwf_sim.Value.t
+val pop_right : Tbwf_sim.Value.t
+val empty_response : Tbwf_sim.Value.t

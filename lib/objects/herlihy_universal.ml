@@ -1,0 +1,104 @@
+open Tbwf_sim
+open Tbwf_registers
+
+(* Cell contents: Pair (Int version, Pair (seq_state, fate_log)) with
+   fate_log = List of Pair (Int pid, Pair (op_id, response)), one entry per
+   process (its latest applied operation). Announce registers hold Unit or
+   Pair (op_id, op); op_id = Pair (Int pid, Int k). *)
+
+type t = {
+  n : int;
+  cell : Value.t Cas_reg.t;
+  announce : Value.t Atomic_reg.t array;
+  spec : Seq_spec.t;
+  sequence : int array;
+}
+
+let create rt ~name ~spec =
+  let n = Runtime.n rt in
+  {
+    n;
+    cell =
+      Cas_reg.create rt ~name ~codec:Codec.value
+        ~init:(Value.Pair (Int 0, Pair (spec.Seq_spec.initial, List [])));
+    announce =
+      Array.init n (fun i ->
+          Atomic_reg.create rt
+            ~name:(Fmt.str "%s.announce[%d]" name i)
+            ~codec:Codec.value ~init:Value.Unit);
+    spec;
+    sequence = Array.make n 0;
+  }
+
+let log_lookup pid log =
+  List.find_map
+    (function
+      | Value.Pair (Int p, entry) when p = pid -> Some (Value.to_pair entry)
+      | _ -> None)
+    log
+
+let log_store pid op_id response log =
+  Value.Pair (Int pid, Pair (op_id, response))
+  :: List.filter
+       (function Value.Pair (Int p, _) -> p <> pid | _ -> true)
+       log
+
+let decompose cell =
+  let version, rest = Value.to_pair cell in
+  let state, log = Value.to_pair rest in
+  Value.to_int version, state, Value.to_list log
+
+(* One attempt: read the cell, decide which announced operation the next
+   transition must apply (helping the process at version mod n, if it has a
+   pending announcement; otherwise our own), and try to CAS the transition
+   in. Failure just means someone else advanced the version. *)
+let attempt t ~pid ~op_id ~op =
+  let snapshot = Cas_reg.read t.cell in
+  let version, state, log = decompose snapshot in
+  match log_lookup pid log with
+  | Some (applied_id, response) when Value.equal applied_id op_id ->
+    `Done response
+  | _ ->
+    let helped_pid = version mod t.n in
+    let announced = Atomic_reg.read t.announce.(helped_pid) in
+    let apply_pid, apply_id, apply_op =
+      match announced with
+      | Value.Pair (id, body) when helped_pid <> pid -> helped_pid, id, body
+      | _ -> pid, op_id, op
+    in
+    let already_applied =
+      match log_lookup apply_pid log with
+      | Some (logged_id, _) -> Value.equal logged_id apply_id
+      | None -> false
+    in
+    let desired =
+      if already_applied then
+        (* Stale announcement: just advance the helping pointer. *)
+        Value.Pair (Int (version + 1), Pair (state, List log))
+      else begin
+        let state', response = Seq_spec.apply_exn t.spec state apply_op in
+        Value.Pair
+          ( Int (version + 1),
+            Pair (state', List (log_store apply_pid apply_id response log)) )
+      end
+    in
+    let (_ : bool) = Cas_reg.cas t.cell ~expected:snapshot ~desired in
+    `Retry
+
+let invoke t op =
+  let pid = Runtime.self () in
+  t.sequence.(pid) <- t.sequence.(pid) + 1;
+  let op_id = Value.Pair (Int pid, Int t.sequence.(pid)) in
+  Atomic_reg.write t.announce.(pid) (Value.Pair (op_id, op));
+  let result = ref None in
+  while !result = None do
+    match attempt t ~pid ~op_id ~op with
+    | `Done response -> result := Some response
+    | `Retry -> Runtime.yield ()
+  done;
+  Atomic_reg.write t.announce.(pid) Value.Unit;
+  Option.get !result
+
+let peek_state t =
+  let _, state, _ = decompose (Cas_reg.peek t.cell) in
+  state

@@ -1,0 +1,29 @@
+(** Wait-free universal construction from compare-and-swap, with helping —
+    the construction behind the paper's §1.2 sentence: "it is well-known
+    that any object has a wait-free (and a fortiori TBWF) implementation,
+    provided one is allowed to use some strong synchronization primitives
+    like compare-and-swap [9]."
+
+    Herlihy-style helping, state-cell formulation: every operation is first
+    {e announced} in a per-process register; every attempt to advance the
+    state must apply the announced operation of process (version mod n) if
+    one is pending, and the winner records (op-id, response) in a fate log
+    inside the state. Whoever wins the CAS races, each announced operation
+    is applied within at most n + 1 state transitions — so every caller
+    returns after boundedly many of its own steps: {e wait-free}, with no
+    timeliness assumption at all.
+
+    This is the strong-primitives upper bound that E12 compares the paper's
+    weak-primitives TBWF stack against: the per-process guarantee is the
+    same (better, even: unconditional), the price is needing CAS instead of
+    abortable registers. *)
+
+type t
+
+val create : Tbwf_sim.Runtime.t -> name:string -> spec:Seq_spec.t -> t
+
+val invoke : t -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+(** Apply an operation and return its sequential response. Completes in a
+    bounded number of the caller's own steps. Must run inside a task. *)
+
+val peek_state : t -> Tbwf_sim.Value.t

@@ -1,0 +1,56 @@
+open Tbwf_sim
+
+let put k v = Value.Pair (Str "put", Pair (Str k, v))
+let get k = Value.Pair (Str "get", Str k)
+let delete k = Value.Pair (Str "delete", Str k)
+let size = Value.Str "size"
+
+let some v = Value.Pair (Str "some", v)
+let none = Value.Str "none"
+
+let decode_binding = function
+  | Value.Pair (Str "some", v) -> Some v
+  | Value.Str "none" -> None
+  | v -> invalid_arg (Value.to_string v)
+
+(* State: association list of (Str key, value), most recently put first is
+   irrelevant — keys are unique and kept sorted for canonical states. *)
+let bindings = function
+  | Value.List items ->
+    List.map
+      (fun item ->
+        match item with
+        | Value.Pair (Str k, v) -> k, v
+        | v -> invalid_arg (Value.to_string v))
+      items
+  | v -> invalid_arg (Value.to_string v)
+
+let of_bindings bs =
+  let sorted = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) bs in
+  Value.List (List.map (fun (k, v) -> Value.Pair (Str k, v)) sorted)
+
+let spec =
+  {
+    Seq_spec.name = "kv-store";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        let bs = bindings state in
+        match op with
+        | Value.Pair (Str "put", Pair (Str k, v)) ->
+          let previous = List.assoc_opt k bs in
+          let bs' = (k, v) :: List.remove_assoc k bs in
+          let response = match previous with Some v0 -> some v0 | None -> none in
+          Some (of_bindings bs', response)
+        | Value.Pair (Str "get", Str k) ->
+          let response =
+            match List.assoc_opt k bs with Some v -> some v | None -> none
+          in
+          Some (state, response)
+        | Value.Pair (Str "delete", Str k) ->
+          if List.mem_assoc k bs then
+            Some (of_bindings (List.remove_assoc k bs), Value.Bool true)
+          else Some (state, Value.Bool false)
+        | Value.Str "size" -> Some (state, Value.Int (List.length bs))
+        | _ -> None);
+  }

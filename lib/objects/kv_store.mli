@@ -1,0 +1,16 @@
+(** Sequential key-value store with string keys.
+
+    put returns the previous binding ([Pair (Str "some", v)] or
+    [Str "none"]), get returns the current binding in the same shape,
+    delete returns whether a binding was removed, size the number of
+    bindings. *)
+
+val spec : Seq_spec.t
+
+val put : string -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val get : string -> Tbwf_sim.Value.t
+val delete : string -> Tbwf_sim.Value.t
+val size : Tbwf_sim.Value.t
+
+val decode_binding : Tbwf_sim.Value.t -> Tbwf_sim.Value.t option
+(** Decode a put/get response into the optional bound value. *)

@@ -1,0 +1,18 @@
+open Tbwf_sim
+
+let write_max v = Value.Pair (Str "write-max", Int v)
+let read = Value.read_op
+
+let spec =
+  {
+    Seq_spec.name = "max-register";
+    initial = Value.Int 0;
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.Int cur, Value.Pair (Str "write-max", Int v) ->
+          Some (Value.Int (max cur v), Value.Unit)
+        | Value.Int cur, Value.Pair (Str "read", _) ->
+          Some (state, Value.Int cur)
+        | _ -> None);
+  }

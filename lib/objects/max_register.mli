@@ -1,0 +1,8 @@
+(** Sequential max-register: [write_max v] raises the stored value to at
+    least [v] and returns unit; [read] returns the maximum written so far.
+    Its monotonicity makes it a good target for property-based tests. *)
+
+val spec : Seq_spec.t
+
+val write_max : int -> Tbwf_sim.Value.t
+val read : Tbwf_sim.Value.t

@@ -1,0 +1,30 @@
+open Tbwf_sim
+
+let insert prio payload = Value.Pair (Str "insert", Pair (Int prio, payload))
+let extract_min = Value.Str "extract-min"
+let size = Value.Str "size"
+let empty_response = Value.Str "empty"
+
+(* State: list of Pair (Int prio, payload), kept sorted by priority with
+   stable insertion (equal priorities keep arrival order). *)
+let spec =
+  {
+    Seq_spec.name = "priority-queue";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.List items, Value.Pair (Str "insert", (Pair (Int prio, _) as entry)) ->
+          let rec place = function
+            | (Value.Pair (Int p, _) as head) :: rest when p <= prio ->
+              head :: place rest
+            | rest -> entry :: rest
+          in
+          Some (Value.List (place items), Value.Unit)
+        | Value.List [], Value.Str "extract-min" -> Some (state, empty_response)
+        | Value.List (smallest :: rest), Value.Str "extract-min" ->
+          Some (Value.List rest, smallest)
+        | Value.List items, Value.Str "size" ->
+          Some (state, Value.Int (List.length items))
+        | _ -> None);
+  }

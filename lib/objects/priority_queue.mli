@@ -1,0 +1,13 @@
+(** Sequential min-priority queue.
+
+    [insert prio payload] returns unit; [extract_min] returns
+    [Pair (Int prio, payload)] for the smallest priority (FIFO among equal
+    priorities) or the sentinel [Str "empty"]; [size] returns the element
+    count. *)
+
+val spec : Seq_spec.t
+
+val insert : int -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val extract_min : Tbwf_sim.Value.t
+val size : Tbwf_sim.Value.t
+val empty_response : Tbwf_sim.Value.t

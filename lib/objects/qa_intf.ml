@@ -1,0 +1,6 @@
+type t = {
+  name : string;
+  invoke : Tbwf_sim.Value.t -> Tbwf_sim.Value.t;
+  query : unit -> Tbwf_sim.Value.t;
+  peek_state : unit -> Tbwf_sim.Value.t;
+}

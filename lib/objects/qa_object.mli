@@ -1,0 +1,21 @@
+(** Direct implementation of a query-abortable object.
+
+    This is the documented substitution for the universal construction of
+    reference [2] (see DESIGN.md §2): the TBWF transformation of Figure 7
+    relies only on the T_QA interface contract, which this module implements
+    as a simulator shared object — operations linearize at their response
+    step, abort under the given policy iff their window overlapped another
+    operation's, and per-process fate records back the [query] operation.
+
+    An aborted operation takes effect or not according to [effect_on_abort]
+    (default: 50/50, the least predictable adversary), and the caller cannot
+    tell — exactly the paper's abortable semantics. *)
+
+val create :
+  Tbwf_sim.Runtime.t ->
+  name:string ->
+  spec:Seq_spec.t ->
+  policy:Tbwf_registers.Abort_policy.t ->
+  ?effect_on_abort:Tbwf_registers.Abort_policy.write_effect ->
+  unit ->
+  Qa_intf.t

@@ -1,0 +1,72 @@
+open Tbwf_sim
+open Tbwf_registers
+
+(* Cell state: Pair (seq_state, List fate_entries) where each entry is
+   Pair (Int pid, Pair (op_id, response)) and op_id = Pair (Int pid, Int k). *)
+
+let fate_entry pid op_id response =
+  Value.Pair (Int pid, Pair (op_id, response))
+
+let lookup_fate pid entries =
+  List.find_map
+    (function
+      | Value.Pair (Int p, fate) when p = pid -> Some fate
+      | _ -> None)
+    entries
+
+let drop_fate pid entries =
+  List.filter
+    (function Value.Pair (Int p, _) when p = pid -> false | _ -> true)
+    entries
+
+let create rt ~name ~spec ~policy
+    ?(effect_on_abort = Abort_policy.Effect_random 0.5) () =
+  let transition state op =
+    match state, op with
+    | Value.Pair (seq_state, List fates), Value.Pair (op_id, seq_op) -> (
+      match spec.Seq_spec.apply seq_state seq_op with
+      | None -> None
+      | Some (seq_state', response) ->
+        let pid =
+          match op_id with
+          | Value.Pair (Int pid, _) -> pid
+          | v -> invalid_arg (Value.to_string v)
+        in
+        let fates' = fate_entry pid op_id response :: drop_fate pid fates in
+        Some (Value.Pair (seq_state', List fates'), response))
+    | _ -> None
+  in
+  let cell =
+    Rmw_cell.create rt ~name
+      ~init:(Value.Pair (spec.Seq_spec.initial, List []))
+      ~transition ~policy ~effect_on_abort ()
+  in
+  let sequence : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let last_op_id : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let invoke op =
+    let pid = Runtime.self () in
+    let k = 1 + Option.value (Hashtbl.find_opt sequence pid) ~default:0 in
+    Hashtbl.replace sequence pid k;
+    let op_id = Value.Pair (Int pid, Int k) in
+    Hashtbl.replace last_op_id pid op_id;
+    Rmw_cell.rmw cell (Value.Pair (op_id, op))
+  in
+  let query () =
+    let pid = Runtime.self () in
+    match Rmw_cell.read cell with
+    | Value.Abort -> Value.Abort
+    | Value.Pair (_, List fates) -> (
+      let mine = Hashtbl.find_opt last_op_id pid in
+      match lookup_fate pid fates, mine with
+      | Some (Value.Pair (op_id, response)), Some issued
+        when Value.equal op_id issued ->
+        response
+      | _, _ -> Value.Fail)
+    | v -> invalid_arg (Fmt.str "Qa_universal %s: bad cell state %a" name Value.pp v)
+  in
+  let peek_state () =
+    match Rmw_cell.peek cell with
+    | Value.Pair (seq_state, _) -> seq_state
+    | v -> invalid_arg (Value.to_string v)
+  in
+  { Qa_intf.name; invoke; query; peek_state }

@@ -1,0 +1,27 @@
+(** Query-abortable objects constructed over an abortable RMW cell.
+
+    A layered implementation of the T_QA interface, in the spirit of the
+    universal construction of reference [2] (see DESIGN.md §2 for the
+    substitution note): the base primitive ({!Rmw_cell}) offers only
+    abortable read-modify-write and read, and knows nothing about queries.
+
+    The construction stores, next to the sequential state, a {e fate log}:
+    for every process, the unique id and response of its last operation that
+    took effect. Each caller tags operations with a fresh (pid, sequence)
+    id; [query] reads the cell and compares the logged id with the caller's
+    last-issued id — a match recovers the response, a mismatch proves the
+    operation did not take effect (F). This is exactly why an aborted
+    operation's fate is always recoverable once a query completes without
+    aborting, even though the base cell's aborted RMWs silently may or may
+    not apply.
+
+    Wait-free: [invoke] is one RMW, [query] is one read. *)
+
+val create :
+  Tbwf_sim.Runtime.t ->
+  name:string ->
+  spec:Seq_spec.t ->
+  policy:Tbwf_registers.Abort_policy.t ->
+  ?effect_on_abort:Tbwf_registers.Abort_policy.write_effect ->
+  unit ->
+  Qa_intf.t

@@ -1,0 +1,20 @@
+open Tbwf_sim
+
+let enqueue v = Value.Pair (Str "enqueue", v)
+let dequeue = Value.Str "dequeue"
+let empty_response = Value.Str "empty"
+
+let spec =
+  {
+    Seq_spec.name = "queue";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.List items, Value.Pair (Str "enqueue", v) ->
+          Some (Value.List (items @ [ v ]), Value.Unit)
+        | Value.List [], Value.Str "dequeue" -> Some (state, empty_response)
+        | Value.List (oldest :: rest), Value.Str "dequeue" ->
+          Some (Value.List rest, oldest)
+        | _ -> None);
+  }

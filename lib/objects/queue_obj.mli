@@ -1,0 +1,8 @@
+(** Sequential FIFO queue: enqueue returns unit, dequeue returns the oldest
+    value or the sentinel [Str "empty"]. *)
+
+val spec : Seq_spec.t
+
+val enqueue : Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val dequeue : Tbwf_sim.Value.t
+val empty_response : Tbwf_sim.Value.t

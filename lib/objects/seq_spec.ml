@@ -1,0 +1,25 @@
+open Tbwf_sim
+
+type t = {
+  name : string;
+  initial : Value.t;
+  apply : Value.t -> Value.t -> (Value.t * Value.t) option;
+}
+
+let apply_exn t state op =
+  match t.apply state op with
+  | Some result -> result
+  | None ->
+    invalid_arg
+      (Fmt.str "Seq_spec %s: illegal op %a in state %a" t.name Value.pp op
+         Value.pp state)
+
+let run_sequential t ops =
+  let _, responses =
+    List.fold_left
+      (fun (state, acc) op ->
+        let state', response = apply_exn t state op in
+        state', response :: acc)
+      (t.initial, []) ops
+  in
+  List.rev responses

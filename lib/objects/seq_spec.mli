@@ -1,0 +1,25 @@
+(** Sequential object types.
+
+    A type T in the paper's sense: a deterministic sequential specification.
+    States, operations and responses are {!Tbwf_sim.Value} values so that
+    one universal construction hosts any type; typed front-ends live in the
+    individual object modules ({!Counter}, {!Queue_obj}, ...). *)
+
+type t = {
+  name : string;
+  initial : Tbwf_sim.Value.t;
+  apply :
+    Tbwf_sim.Value.t ->
+    Tbwf_sim.Value.t ->
+    (Tbwf_sim.Value.t * Tbwf_sim.Value.t) option;
+      (** [apply state op] is [Some (state', response)], or [None] when the
+          operation does not belong to the type (a caller bug). *)
+}
+
+val apply_exn :
+  t -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t -> Tbwf_sim.Value.t * Tbwf_sim.Value.t
+(** Like [apply] but raises [Invalid_argument] on an illegal operation. *)
+
+val run_sequential : t -> Tbwf_sim.Value.t list -> Tbwf_sim.Value.t list
+(** Fold a list of operations from the initial state, returning responses —
+    the reference semantics property tests compare against. *)

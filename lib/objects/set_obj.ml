@@ -1,0 +1,33 @@
+open Tbwf_sim
+
+let add x = Value.Pair (Str "add", Int x)
+let remove x = Value.Pair (Str "remove", Int x)
+let mem x = Value.Pair (Str "mem", Int x)
+let size = Value.Str "size"
+
+(* State: sorted list of distinct Int values. *)
+let elements = function
+  | Value.List items -> List.map Value.to_int items
+  | v -> invalid_arg (Value.to_string v)
+
+let of_elements xs = Value.List (List.map (fun x -> Value.Int x) xs)
+
+let spec =
+  {
+    Seq_spec.name = "set";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        let xs = elements state in
+        match op with
+        | Value.Pair (Str "add", Int x) ->
+          if List.mem x xs then Some (state, Value.Bool false)
+          else Some (of_elements (List.sort compare (x :: xs)), Value.Bool true)
+        | Value.Pair (Str "remove", Int x) ->
+          if List.mem x xs then
+            Some (of_elements (List.filter (fun y -> y <> x) xs), Value.Bool true)
+          else Some (state, Value.Bool false)
+        | Value.Pair (Str "mem", Int x) -> Some (state, Value.Bool (List.mem x xs))
+        | Value.Str "size" -> Some (state, Value.Int (List.length xs))
+        | _ -> None);
+  }

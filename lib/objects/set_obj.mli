@@ -1,0 +1,9 @@
+(** Sequential integer set: add and remove return whether they changed the
+    set, mem returns membership, size returns the cardinality. *)
+
+val spec : Seq_spec.t
+
+val add : int -> Tbwf_sim.Value.t
+val remove : int -> Tbwf_sim.Value.t
+val mem : int -> Tbwf_sim.Value.t
+val size : Tbwf_sim.Value.t

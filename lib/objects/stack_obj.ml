@@ -1,0 +1,20 @@
+open Tbwf_sim
+
+let push v = Value.Pair (Str "push", v)
+let pop = Value.Str "pop"
+let empty_response = Value.Str "empty"
+
+let spec =
+  {
+    Seq_spec.name = "stack";
+    initial = Value.List [];
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.List items, Value.Pair (Str "push", v) ->
+          Some (Value.List (v :: items), Value.Unit)
+        | Value.List [], Value.Str "pop" -> Some (state, empty_response)
+        | Value.List (top :: rest), Value.Str "pop" ->
+          Some (Value.List rest, top)
+        | _ -> None);
+  }

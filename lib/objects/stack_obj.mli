@@ -1,0 +1,8 @@
+(** Sequential stack: push returns unit, pop returns the top value or the
+    sentinel [Str "empty"]. *)
+
+val spec : Seq_spec.t
+
+val push : Tbwf_sim.Value.t -> Tbwf_sim.Value.t
+val pop : Tbwf_sim.Value.t
+val empty_response : Tbwf_sim.Value.t

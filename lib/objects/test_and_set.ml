@@ -1,0 +1,20 @@
+open Tbwf_sim
+
+let tas = Value.Str "tas"
+let reset = Value.Str "reset"
+let read = Value.read_op
+
+let spec =
+  {
+    Seq_spec.name = "test-and-set";
+    initial = Value.Bool false;
+    apply =
+      (fun state op ->
+        match state, op with
+        | Value.Bool b, Value.Str "tas" -> Some (Value.Bool true, Value.Bool b)
+        | Value.Bool _, Value.Str "reset" ->
+          Some (Value.Bool false, Value.Unit)
+        | Value.Bool b, Value.Pair (Str "read", _) ->
+          Some (state, Value.Bool b)
+        | _ -> None);
+  }

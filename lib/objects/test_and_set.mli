@@ -1,0 +1,8 @@
+(** Sequential test-and-set bit: [tas] sets the bit and returns its previous
+    value; [reset] clears it; [read] returns it. *)
+
+val spec : Seq_spec.t
+
+val tas : Tbwf_sim.Value.t
+val reset : Tbwf_sim.Value.t
+val read : Tbwf_sim.Value.t

@@ -1,0 +1,44 @@
+(** Communicating a heartbeat over abortable registers — paper Section 6,
+    Figure 5.
+
+    A single abortable heartbeat register is not enough: all of the reader's
+    reads may abort (which proves the writer is alive but not that it is
+    timely — the writer might take ever longer to complete each write). The
+    paper's fix is two registers written in alternation: the reader deems
+    the writer timely only if {e both} reads abort-or-advance. A writer that
+    stalls inside one write leaves the other register unchanged and
+    non-aborting, which the reader detects.
+
+    [receive] maintains the reader's [active_set]: the set of processes the
+    reader currently considers timely with respect to itself. *)
+
+type t
+(** Per-process heartbeat endpoint state. *)
+
+type mesh = {
+  hb1 : int Tbwf_registers.Abortable_reg.t option array array;
+  hb2 : int Tbwf_registers.Abortable_reg.t option array array;
+      (** element [(p).(q)] is written by p and read by q; [None] on the
+          diagonal *)
+}
+
+val registers :
+  Tbwf_sim.Runtime.t ->
+  policy:Tbwf_registers.Abort_policy.t ->
+  ?write_effect:Tbwf_registers.Abort_policy.write_effect ->
+  n:int ->
+  unit ->
+  mesh
+
+val create : me:int -> mesh:mesh -> t
+(** Fresh state; the initial active set is [{me}]. *)
+
+val send : t -> dest:bool array -> unit
+(** Figure 5, [SendHeartbeat(dest)]: bump the send counter and write it to
+    both heartbeat registers of every q with [dest.(q)] (results ignored —
+    an aborted heartbeat write is itself a sign of life for the reader). *)
+
+val receive : t -> bool array
+(** Figure 5, [ReceiveHeartbeat()]: poll peers per the adaptive timeout and
+    update membership; returns the active-set array (internal state; do not
+    mutate). Element [me] is always true. *)

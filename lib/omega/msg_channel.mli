@@ -1,0 +1,44 @@
+(** Communicating the final value of a variable that eventually stops
+    changing, over abortable registers — paper Section 6, Figure 4.
+
+    Writer side: whenever its message for q changes, p repeatedly writes it
+    to the SWSR abortable register MsgRegister[p,q] until a write succeeds.
+    Reader side: q polls MsgRegister[p,q], doubling down on patience
+    (incrementing its read timeout) whenever a read aborts or returns an
+    unchanged value — so that if p is q-timely, q eventually reads so rarely
+    that p writes solo and succeeds.
+
+    The guarantee (used by the Ω∆ proof) is only: if p is q-timely, keeps
+    calling {!write_msgs}, and its message to q stops changing, then q
+    eventually holds that final value in [prev_msg_from]. *)
+
+type payload = int * int
+(** Figure 6 sends (counter[p], actrTo[q]) pairs. *)
+
+type t
+(** Per-process channel endpoint state (both writer and reader sides). *)
+
+val registers :
+  Tbwf_sim.Runtime.t ->
+  policy:Tbwf_registers.Abort_policy.t ->
+  ?write_effect:Tbwf_registers.Abort_policy.write_effect ->
+  n:int ->
+  unit ->
+  payload Tbwf_registers.Abortable_reg.t option array array
+(** [registers rt ~policy ~n ()] creates the full mesh: element [(p).(q)]
+    is MsgRegister[p,q] (written by p, read by q); [None] on the diagonal. *)
+
+val create :
+  me:int -> registers:payload Tbwf_registers.Abortable_reg.t option array array -> t
+(** Fresh per-process state for process [me] over a shared register mesh. *)
+
+val write_msgs : t -> payload array -> bool array
+(** Figure 4, [WriteMsgs(msgTo)]: try to propagate [msgTo.(q)] to every
+    q ≠ me; returns [prevWriteDone] — whether the latest value for q has
+    been written successfully. Costs register-write steps only for entries
+    that still need writing. *)
+
+val read_msgs : t -> payload array
+(** Figure 4, [ReadMsgs()]: poll peers' registers per the adaptive timeout;
+    returns [prevMsgFrom] — the last successfully read payload from each
+    peer (the array is the internal state; do not mutate). *)

@@ -1,0 +1,33 @@
+open Tbwf_sim
+
+type t =
+  | Never
+  | Always
+  | Random of float
+  | Adversarial of (Shared.ctx -> bool)
+
+type write_effect =
+  | Effect_never
+  | Effect_always
+  | Effect_random of float
+
+let should_abort policy ~contended (ctx : Shared.ctx) =
+  if not contended then false
+  else
+    match policy with
+    | Never -> false
+    | Always -> true
+    | Random p -> Rng.bool ctx.rng p
+    | Adversarial f -> f ctx
+
+let write_takes_effect effect rng =
+  match effect with
+  | Effect_never -> false
+  | Effect_always -> true
+  | Effect_random p -> Rng.bool rng p
+
+let pp fmt = function
+  | Never -> Fmt.string fmt "never"
+  | Always -> Fmt.string fmt "always-on-overlap"
+  | Random p -> Fmt.pf fmt "random(%.2f)" p
+  | Adversarial _ -> Fmt.string fmt "adversarial"

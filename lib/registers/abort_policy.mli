@@ -1,0 +1,29 @@
+(** Abort policies for abortable registers and query-abortable objects.
+
+    The paper's abortable register spec says only that operations accessed
+    concurrently {e may} abort; the adversary decides which. A policy
+    resolves that choice per operation, and also whether an aborted write
+    nevertheless takes effect (the spec allows either, and the writer
+    cannot tell). *)
+
+type t =
+  | Never  (** no operation ever aborts (degenerates to atomic) *)
+  | Always  (** every overlapped operation aborts — the harshest adversary *)
+  | Random of float  (** an overlapped operation aborts with this probability *)
+  | Adversarial of (Tbwf_sim.Shared.ctx -> bool)
+      (** full custom control: return true to abort this overlapped op *)
+
+type write_effect =
+  | Effect_never  (** aborted writes never take effect *)
+  | Effect_always  (** aborted writes always take effect *)
+  | Effect_random of float  (** aborted writes take effect with this probability *)
+
+val should_abort : t -> contended:bool -> Tbwf_sim.Shared.ctx -> bool
+(** Decide an operation's fate. [contended] is the caller's notion of
+    concurrency (registers pass [ctx.overlapped], query-abortable objects
+    pass [ctx.step_contended]); a non-contended operation never aborts,
+    regardless of the policy: solo operations always succeed. *)
+
+val write_takes_effect : write_effect -> Tbwf_sim.Rng.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+open Tbwf_sim
+
+type 'a t = {
+  obj : Shared.t;
+  codec : 'a Codec.t;
+  cell : Value.t ref;
+  writer : int;
+  reader : int;
+  metrics : Metrics.t;
+}
+
+let create rt ~name ~codec ~init ~writer ~reader ~policy
+    ?(write_effect = Abort_policy.Effect_random 0.5) () =
+  let metrics = Metrics.create () in
+  let cell = ref (codec.Codec.enc init) in
+  let respond (ctx : Shared.ctx) =
+    match ctx.op with
+    | Value.Pair (Str "write", v) ->
+      if ctx.pid <> writer then
+        invalid_arg
+          (Fmt.str "Abortable_reg %s: pid %d is not the writer (%d)" name
+             ctx.pid writer);
+      if Abort_policy.should_abort policy ~contended:ctx.overlapped ctx then begin
+        metrics.write_aborts <- metrics.write_aborts + 1;
+        if Abort_policy.write_takes_effect write_effect ctx.rng then cell := v;
+        Value.Abort
+      end
+      else begin
+        cell := v;
+        metrics.writes <- metrics.writes + 1;
+        Value.Unit
+      end
+    | Value.Pair (Str "read", _) ->
+      if ctx.pid <> reader then
+        invalid_arg
+          (Fmt.str "Abortable_reg %s: pid %d is not the reader (%d)" name
+             ctx.pid reader);
+      if Abort_policy.should_abort policy ~contended:ctx.overlapped ctx then begin
+        metrics.read_aborts <- metrics.read_aborts + 1;
+        Value.Abort
+      end
+      else begin
+        metrics.reads <- metrics.reads + 1;
+        !cell
+      end
+    | op -> invalid_arg (Fmt.str "Abortable_reg %s: bad op %a" name Value.pp op)
+  in
+  let obj = Runtime.register_object rt ~name ~respond in
+  { obj; codec; cell; writer; reader; metrics }
+
+let read t =
+  match Runtime.call t.obj Value.read_op with
+  | Value.Abort -> None
+  | v -> Some (t.codec.Codec.dec v)
+
+let write t v =
+  match Runtime.call t.obj (Value.write_op (t.codec.Codec.enc v)) with
+  | Value.Abort -> false
+  | _ -> true
+
+let peek t = t.codec.Codec.dec !(t.cell)
+let metrics t = t.metrics
+let name t = t.obj.Shared.name

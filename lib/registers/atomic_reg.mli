@@ -1,0 +1,24 @@
+(** Multi-writer multi-reader atomic registers.
+
+    Each operation linearizes at its response step, which lies strictly
+    inside its invocation/response window, so every history produced by this
+    implementation is linearizable (the test suite checks this with the
+    Wing–Gong checker in [Tbwf_check]). *)
+
+type 'a t
+
+val create :
+  Tbwf_sim.Runtime.t -> name:string -> codec:'a Codec.t -> init:'a -> 'a t
+
+val read : 'a t -> 'a
+(** Must be called from inside a task; costs the task two steps. *)
+
+val write : 'a t -> 'a -> unit
+(** Must be called from inside a task; costs the task two steps. *)
+
+val peek : 'a t -> 'a
+(** Zero-step inspection of the current contents, for analyses and tests —
+    never used by algorithm code. *)
+
+val metrics : _ t -> Metrics.t
+val name : _ t -> string

@@ -1,0 +1,19 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_aborts : int;
+  mutable write_aborts : int;
+}
+
+let create () = { reads = 0; writes = 0; read_aborts = 0; write_aborts = 0 }
+
+let total_ops t = t.reads + t.writes + t.read_aborts + t.write_aborts
+
+let abort_rate t =
+  let total = total_ops t in
+  if total = 0 then 0.0
+  else float_of_int (t.read_aborts + t.write_aborts) /. float_of_int total
+
+let pp fmt t =
+  Fmt.pf fmt "reads=%d writes=%d read-aborts=%d write-aborts=%d" t.reads
+    t.writes t.read_aborts t.write_aborts

@@ -1,0 +1,16 @@
+(** Per-register operation counters, used by the write-efficiency and
+    abort-rate experiments. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;  (** write responses that took effect *)
+  mutable read_aborts : int;
+  mutable write_aborts : int;  (** aborted writes, whether or not they took effect *)
+}
+
+val create : unit -> t
+val total_ops : t -> int
+val abort_rate : t -> float
+(** Fraction of operations that aborted; 0 when no operation ran. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+open Tbwf_sim
+
+type 'a t = {
+  obj : Shared.t;
+  codec : 'a Codec.t;
+  cell : Value.t ref;
+  metrics : Metrics.t;
+}
+
+let create rt ~name ~codec ~init =
+  let metrics = Metrics.create () in
+  let cell = ref (codec.Codec.enc init) in
+  let respond (ctx : Shared.ctx) =
+    match ctx.op with
+    | Value.Pair (Str "write", v) ->
+      cell := v;
+      metrics.writes <- metrics.writes + 1;
+      Value.Unit
+    | Value.Pair (Str "read", _) ->
+      metrics.reads <- metrics.reads + 1;
+      let concurrent_writes =
+        List.filter_map
+          (function Value.Pair (Str "write", v) -> Some v | _ -> None)
+          ctx.overlap_ops
+      in
+      (* The current contents is always legal: it is either the pre-read
+         value (no overlapping write responded yet) or the value of an
+         overlapping write. Overlapping writes' values are legal too. *)
+      let candidates = Array.of_list (!cell :: concurrent_writes) in
+      Rng.pick ctx.rng candidates
+    | op -> invalid_arg (Fmt.str "Regular_reg %s: bad op %a" name Value.pp op)
+  in
+  let obj = Runtime.register_object rt ~name ~respond in
+  { obj; codec; cell; metrics }
+
+let read t = t.codec.Codec.dec (Runtime.call t.obj Value.read_op)
+
+let write t v =
+  let (_ : Value.t) = Runtime.call t.obj (Value.write_op (t.codec.Codec.enc v)) in
+  ()
+
+let peek t = t.codec.Codec.dec !(t.cell)
+let metrics t = t.metrics

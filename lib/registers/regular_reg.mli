@@ -1,0 +1,17 @@
+(** Regular registers (Lamport).
+
+    A read that does not overlap any write returns the last written value.
+    A read that overlaps writes returns either the register's pre-read value
+    or the value of one of the overlapping writes; the adversary picks.
+    Included for completeness of the register hierarchy exercised by the
+    test suite. *)
+
+type 'a t
+
+val create :
+  Tbwf_sim.Runtime.t -> name:string -> codec:'a Codec.t -> init:'a -> 'a t
+
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+val peek : 'a t -> 'a
+val metrics : _ t -> Metrics.t

@@ -1,0 +1,26 @@
+(** Safe registers (Lamport).
+
+    A read that does not overlap any write returns the last written value.
+    A read that overlaps a write may return {e any} value of the register's
+    domain — the adversary (here, the run's RNG through [arbitrary]) picks.
+    Writes always take effect; this is the sense in which even safe
+    registers are stronger than abortable registers (a write on an abortable
+    register can abort without taking effect).
+
+    Included for the paper's comparison (§1.2, footnote 2); the TBWF stack
+    itself never uses safe registers. *)
+
+type 'a t
+
+val create :
+  Tbwf_sim.Runtime.t ->
+  name:string ->
+  codec:'a Codec.t ->
+  init:'a ->
+  arbitrary:(Tbwf_sim.Rng.t -> 'a) ->
+  'a t
+
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+val peek : 'a t -> 'a
+val metrics : _ t -> Metrics.t

@@ -1,0 +1,234 @@
+type t = {
+  name : string;
+  next : step:int -> runnable:int array -> rng:Rng.t -> int option;
+  (* for of_script policies: observed branching factors, reverse order *)
+  script_branching : int list ref;
+}
+
+let name t = t.name
+let next t = t.next
+
+let mem pid runnable = Array.exists (fun p -> p = pid) runnable
+
+let round_robin () =
+  let last = ref (-1) in
+  let next ~step:_ ~runnable ~rng:_ =
+    if Array.length runnable = 0 then None
+    else begin
+      (* smallest pid strictly greater than [!last], wrapping around *)
+      let above = Array.to_list runnable |> List.filter (fun p -> p > !last) in
+      let chosen =
+        match above with p :: _ -> p | [] -> runnable.(0)
+      in
+      last := chosen;
+      Some chosen
+    end
+  in
+  { name = "round-robin"; next; script_branching = ref [] }
+
+let weighted_pick rng candidates weight_of =
+  let total = Array.fold_left (fun acc p -> acc +. weight_of p) 0.0 candidates in
+  if total <= 0.0 then None
+  else begin
+    let target = Rng.float rng *. total in
+    let acc = ref 0.0 in
+    let chosen = ref None in
+    Array.iter
+      (fun p ->
+        if !chosen = None then begin
+          acc := !acc +. weight_of p;
+          if !acc > target then chosen := Some p
+        end)
+      candidates;
+    (* floating-point slack: fall back to the last candidate *)
+    match !chosen with
+    | Some _ as c -> c
+    | None -> Some candidates.(Array.length candidates - 1)
+  end
+
+let weighted weights =
+  let table = Hashtbl.create 16 in
+  Array.iter (fun (pid, w) -> Hashtbl.replace table pid w) weights;
+  let weight_of p = Option.value (Hashtbl.find_opt table p) ~default:1.0 in
+  let next ~step:_ ~runnable ~rng =
+    if Array.length runnable = 0 then None else weighted_pick rng runnable weight_of
+  in
+  { name = "weighted"; next; script_branching = ref [] }
+
+type pattern =
+  | Every of { period : int; offset : int }
+  | Weighted of float
+  | Flicker of { active : int; sleep : int; growth : float }
+  | Slowing of { initial_gap : int; growth : float; burst : int }
+  | Silent
+  | Switch_at of int * pattern * pattern
+
+(* Mutable flicker phase tracking, keyed by pid. *)
+type flicker_state = {
+  mutable awake : bool;
+  mutable phase_end : int;  (* first step of the next phase *)
+  mutable sleep_len : float;
+}
+
+type slowing_state = {
+  mutable due : int;
+  mutable gap : float;
+  mutable burst_left : int;
+}
+
+let of_patterns ?(name = "patterns") assignments =
+  let patterns = Hashtbl.create 16 in
+  List.iter (fun (pid, p) -> Hashtbl.replace patterns pid p) assignments;
+  let flickers : (int, flicker_state) Hashtbl.t = Hashtbl.create 16 in
+  let slowers : (int, slowing_state) Hashtbl.t = Hashtbl.create 16 in
+  let last_run = Hashtbl.create 16 in
+  let rec resolve step = function
+    | Switch_at (s, before, after) ->
+      if step < s then resolve step before else resolve step after
+    | (Every _ | Weighted _ | Flicker _ | Slowing _ | Silent) as p -> p
+  in
+  let slowing_state pid step initial_gap burst =
+    match Hashtbl.find_opt slowers pid with
+    | Some st -> st
+    | None ->
+      let st =
+        { due = step; gap = float_of_int initial_gap; burst_left = burst }
+      in
+      Hashtbl.replace slowers pid st;
+      st
+  in
+  let flicker_awake pid step active sleep growth =
+    let st =
+      match Hashtbl.find_opt flickers pid with
+      | Some st -> st
+      | None ->
+        let st = { awake = true; phase_end = step + active; sleep_len = float_of_int sleep } in
+        Hashtbl.replace flickers pid st;
+        st
+    in
+    while step >= st.phase_end do
+      if st.awake then begin
+        st.awake <- false;
+        st.phase_end <- st.phase_end + int_of_float st.sleep_len;
+        st.sleep_len <- st.sleep_len *. growth
+      end
+      else begin
+        st.awake <- true;
+        st.phase_end <- st.phase_end + active
+      end
+    done;
+    st.awake
+  in
+  let next ~step ~runnable ~rng =
+    if Array.length runnable = 0 then None
+    else begin
+      let pattern_of p =
+        resolve step
+          (Option.value (Hashtbl.find_opt patterns p) ~default:(Weighted 1.0))
+      in
+      let claims =
+        Array.to_list runnable
+        |> List.filter (fun p ->
+               match pattern_of p with
+               | Every { period; offset } -> (step - offset) mod period = 0
+               | Slowing { initial_gap; growth = _; burst } ->
+                 step >= (slowing_state p step initial_gap burst).due
+               | Weighted _ | Flicker _ | Silent | Switch_at _ -> false)
+      in
+      match claims with
+      | _ :: _ ->
+        (* serve the least-recently-run claimant so ties starve nobody *)
+        let ran_at p = Option.value (Hashtbl.find_opt last_run p) ~default:(-1) in
+        let best =
+          List.fold_left
+            (fun best p ->
+              match best with
+              | None -> Some p
+              | Some b -> if ran_at p < ran_at b then Some p else best)
+            None claims
+        in
+        Option.iter
+          (fun p ->
+            Hashtbl.replace last_run p step;
+            match pattern_of p with
+            | Slowing { initial_gap; growth; burst } ->
+              let st = slowing_state p step initial_gap burst in
+              if st.burst_left > 1 then st.burst_left <- st.burst_left - 1
+              else begin
+                st.burst_left <- max 1 burst;
+                st.due <- step + int_of_float st.gap;
+                st.gap <- st.gap *. growth
+              end
+            | Every _ | Weighted _ | Flicker _ | Silent | Switch_at _ -> ())
+          best;
+        best
+      | [] ->
+        let weight_of p =
+          match pattern_of p with
+          | Weighted w -> w
+          | Flicker { active; sleep; growth } ->
+            if flicker_awake p step active sleep growth then 1.0 else 0.0
+          | Every _ | Slowing _ | Silent -> 0.0
+          | Switch_at _ -> assert false
+        in
+        let chosen = weighted_pick rng runnable weight_of in
+        (match chosen with
+        | Some p -> Hashtbl.replace last_run p step; Some p
+        | None ->
+          (* No soft participant this step. Give the spare step to an
+             off-claim [Every] process (it is willing, merely not due), so
+             runs made only of timely processes keep progressing; if truly
+             everyone is silent, let the step pass idle. *)
+          let willing =
+            Array.to_list runnable
+            |> List.filter (fun p ->
+                   match pattern_of p with
+                   | Every _ -> true
+                   | Weighted _ | Flicker _ | Slowing _ | Silent | Switch_at _ ->
+                     false)
+          in
+          let ran_at p = Option.value (Hashtbl.find_opt last_run p) ~default:(-1) in
+          let best =
+            List.fold_left
+              (fun best p ->
+                match best with
+                | None -> Some p
+                | Some b -> if ran_at p < ran_at b then Some p else best)
+              None willing
+          in
+          Option.iter (fun p -> Hashtbl.replace last_run p step) best;
+          best)
+      end
+  in
+  { name; next; script_branching = ref [] }
+
+let solo_after ~n ~pid ~step =
+  let assignments =
+    List.init n (fun p ->
+        if p = pid then p, Weighted 1.0
+        else p, Switch_at (step, Weighted 1.0, Silent))
+  in
+  let base = of_patterns ~name:(Fmt.str "solo-after-%d" step) assignments in
+  (* After the switch point, only [pid] must run, even as the idle fallback. *)
+  let next ~step:s ~runnable ~rng =
+    if s >= step then (if mem pid runnable then Some pid else None)
+    else next base ~step:s ~runnable ~rng
+  in
+  { name = base.name; next; script_branching = ref [] }
+
+let of_script script =
+  let remaining = ref script in
+  let branching = ref [] in
+  let next ~step:_ ~runnable ~rng:_ =
+    if Array.length runnable = 0 then None
+    else
+      match !remaining with
+      | [] -> None
+      | choice :: rest ->
+        remaining := rest;
+        branching := Array.length runnable :: !branching;
+        Some runnable.(choice mod Array.length runnable)
+  in
+  { name = "script"; next; script_branching = branching }
+
+let branching_of_script t = List.rev !(t.script_branching)

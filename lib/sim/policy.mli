@@ -1,0 +1,74 @@
+(** Schedule policies.
+
+    A policy decides which runnable process takes each step. Timeliness in
+    the sense of the paper (Definitions 1–2) is a property of the schedule,
+    so policies are how experiments construct timely, non-timely, flickering,
+    crashing and solo processes.
+
+    Policies may keep internal mutable state; create a fresh policy per run. *)
+
+type t
+
+val name : t -> string
+
+val next : t -> step:int -> runnable:int array -> rng:Rng.t -> int option
+(** Pick the process to run at [step] among [runnable] (non-empty, sorted
+    ascending). [None] means nobody is willing to run this step; the runtime
+    records an idle step and moves on. Called once per step by the runtime. *)
+
+val round_robin : unit -> t
+(** Perfectly fair rotation: every process is timely with bound ≈ n. *)
+
+val weighted : (int * float) array -> t
+(** Seeded-random choice with the given per-pid weights. Pids absent from
+    the list get weight 1.0. A pid with a much smaller weight than the rest
+    has unbounded expected gaps, i.e. is (statistically) not timely. *)
+
+(** Per-process step patterns, compiled into a policy by {!of_patterns}. *)
+type pattern =
+  | Every of { period : int; offset : int }
+      (** hard claim on steps ≡ offset (mod period): a timely process with
+          bound on the order of [period] *)
+  | Weighted of float
+      (** soft participant chosen with this weight on unclaimed steps *)
+  | Flicker of { active : int; sleep : int; growth : float }
+      (** alternates between [active] steps of eager participation and a
+          silent phase whose length starts at [sleep] and is multiplied by
+          [growth] after every cycle — with [growth > 1.0] the gaps grow
+          without bound, so the process is not timely *)
+  | Slowing of { initial_gap : int; growth : float; burst : int }
+      (** takes a burst of [burst] steps (competing for them against other
+          claimants), then pauses for a gap that starts at [initial_gap] and
+          is multiplied by [growth] after every burst: a process that keeps
+          decelerating forever. With [growth > 1.0] it is not timely, yet it
+          never stops and never looks "willingly inactive" — the adversary
+          that defeats boosting algorithms with aggressively adaptive (e.g.
+          doubling) timeouts. Make [burst] a small multiple of the
+          process's task count so each burst produces at least one
+          heartbeat write. *)
+  | Silent  (** never scheduled (until a [Switch_at] changes it) *)
+  | Switch_at of int * pattern * pattern
+      (** [Switch_at (s, before, after)]: behave as [before] for steps < s,
+          as [after] afterwards *)
+
+val of_patterns : ?name:string -> (int * pattern) list -> t
+(** Compile per-pid patterns. Pids not listed behave as [Weighted 1.0].
+    Hard claims win over soft participants; simultaneous hard claims are
+    served least-recently-run first, so a set of [Every] processes with the
+    same period remains timely (with a proportionally larger bound). *)
+
+val solo_after : n:int -> pid:int -> step:int -> t
+(** All processes run with equal weight before [step]; afterwards only
+    [pid] takes steps. Used to check obstruction-freedom. *)
+
+val of_script : int list -> t
+(** Follow an explicit choice script: at step i, run the runnable process
+    with index [script.(i) mod (number of runnable processes)] (in
+    ascending-pid order). Once the script is exhausted, returns [None]
+    forever — the driver for exhaustive schedule exploration
+    ({!Tbwf_check.Explore}). *)
+
+val branching_of_script : t -> int list
+(** For a policy built with {!of_script}: the number of runnable choices
+    that was available at each scripted step, in order — the information an
+    exhaustive explorer needs to enumerate sibling schedules. *)

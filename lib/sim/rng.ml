@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: fast, well distributed, trivially seedable. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = create (next t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int has 63, so a 63-bit mask could still
+     produce negatives through Int64.to_int. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let v = Int64.to_int (Int64.logand (next t) mask) in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

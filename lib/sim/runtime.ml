@@ -1,0 +1,313 @@
+exception Simulation_over
+
+type pending = {
+  p_pid : int;
+  p_obj : Shared.t;
+  p_op : Value.t;
+  p_invoke_step : int;
+  mutable p_overlapped : bool;
+  mutable p_overlap_ops : Value.t list;
+  p_events_at_invoke : int;
+      (* object event-counter value just after this op's invocation *)
+}
+
+type task_state =
+  | Ready of (unit -> unit)
+  | Suspended_local of (unit, unit) Effect.Deep.continuation
+  | Suspended_call of (Value.t, unit) Effect.Deep.continuation * pending
+  | Running
+  | Finished
+
+type task = {
+  t_name : string;
+  t_pid : int;
+  mutable t_state : task_state;
+}
+
+type proc = {
+  pid : int;
+  mutable tasks : task list;  (* in spawn order *)
+  mutable next_task : int;  (* round-robin cursor *)
+  mutable is_crashed : bool;
+}
+
+type t = {
+  num : int;
+  rng : Rng.t;
+  trace : Trace.t;
+  procs : proc array;
+  mutable step : int;
+  mutable next_obj_id : int;
+  pending : (int, pending list) Hashtbl.t;  (* obj id -> in-flight ops *)
+  event_counts : (int, int) Hashtbl.t;
+      (* obj id -> number of invocation/response events so far *)
+  mutable crashes : (int * int) list;  (* (step, pid), unsorted *)
+  mutable current : (int * task) option;  (* set while a task runs *)
+}
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Call : Shared.t * Value.t -> Value.t Effect.t
+  | Self : int Effect.t
+
+let create ?(seed = 0xC0FFEEL) ~n () =
+  if n < 1 then invalid_arg "Runtime.create: need at least one process";
+  {
+    num = n;
+    rng = Rng.create seed;
+    trace = Trace.create ();
+    procs = Array.init n (fun pid -> { pid; tasks = []; next_task = 0; is_crashed = false });
+    step = 0;
+    next_obj_id = 0;
+    pending = Hashtbl.create 64;
+    event_counts = Hashtbl.create 64;
+    crashes = [];
+    current = None;
+  }
+
+let n t = t.num
+let rng t = t.rng
+let trace t = t.trace
+let now t = t.step
+
+let register_object t ~name ~respond =
+  let id = t.next_obj_id in
+  t.next_obj_id <- id + 1;
+  Shared.make ~id ~name ~respond
+
+let spawn t ~pid ~name body =
+  if pid < 0 || pid >= t.num then invalid_arg "Runtime.spawn: bad pid";
+  let proc = t.procs.(pid) in
+  proc.tasks <- proc.tasks @ [ { t_name = name; t_pid = pid; t_state = Ready body } ]
+
+let crash_at t ~pid ~step = t.crashes <- (step, pid) :: t.crashes
+
+let crashed t ~pid = t.procs.(pid).is_crashed
+
+let yield () = Effect.perform Yield
+let call obj op = Effect.perform (Call (obj, op))
+let self () = Effect.perform Self
+
+let await cond =
+  while not (cond ()) do
+    yield ()
+  done
+
+(* --- pending-operation bookkeeping ------------------------------------- *)
+
+let events_of t obj_id =
+  Option.value (Hashtbl.find_opt t.event_counts obj_id) ~default:0
+
+let bump_events t obj_id =
+  Hashtbl.replace t.event_counts obj_id (events_of t obj_id + 1)
+
+let add_pending t pend =
+  let obj_id = pend.p_obj.Shared.id in
+  let existing = Option.value (Hashtbl.find_opt t.pending obj_id) ~default:[] in
+  if existing <> [] then begin
+    pend.p_overlapped <- true;
+    List.iter
+      (fun other ->
+        other.p_overlapped <- true;
+        other.p_overlap_ops <- pend.p_op :: other.p_overlap_ops;
+        pend.p_overlap_ops <- other.p_op :: pend.p_overlap_ops)
+      existing
+  end;
+  Hashtbl.replace t.pending obj_id (pend :: existing)
+
+let remove_pending t pend =
+  let obj_id = pend.p_obj.Shared.id in
+  let existing = Option.value (Hashtbl.find_opt t.pending obj_id) ~default:[] in
+  let remaining = List.filter (fun other -> other != pend) existing in
+  Hashtbl.replace t.pending obj_id remaining;
+  List.length remaining
+
+let respond_pending t pend =
+  let remaining = remove_pending t pend in
+  let obj_id = pend.p_obj.Shared.id in
+  let step_contended = events_of t obj_id > pend.p_events_at_invoke in
+  bump_events t obj_id;
+  let ctx =
+    {
+      Shared.pid = pend.p_pid;
+      invoke_step = pend.p_invoke_step;
+      respond_step = t.step;
+      overlapped = pend.p_overlapped;
+      overlap_ops = pend.p_overlap_ops;
+      step_contended;
+      pending_others = remaining;
+      rng = t.rng;
+      op = pend.p_op;
+    }
+  in
+  let result = pend.p_obj.Shared.respond ctx in
+  Trace.record_op t.trace
+    {
+      Trace.step = t.step;
+      pid = pend.p_pid;
+      obj_id = pend.p_obj.Shared.id;
+      obj_name = pend.p_obj.Shared.name;
+      op = pend.p_op;
+      phase = `Respond result;
+    };
+  result
+
+(* --- task execution ----------------------------------------------------- *)
+
+let handler t task =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> task.t_state <- Finished);
+    exnc =
+      (fun e ->
+        match e with
+        | Simulation_over -> task.t_state <- Finished
+        | e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Fmt.epr "task %S (pid %d) raised: %s@." task.t_name task.t_pid
+            (Printexc.to_string e);
+          Printexc.raise_with_backtrace e bt);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              task.t_state <- Suspended_local k)
+        | Call (obj, op) ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              bump_events t obj.Shared.id;
+              let pend =
+                {
+                  p_pid = task.t_pid;
+                  p_obj = obj;
+                  p_op = op;
+                  p_invoke_step = t.step;
+                  p_overlapped = false;
+                  p_overlap_ops = [];
+                  p_events_at_invoke = events_of t obj.Shared.id;
+                }
+              in
+              add_pending t pend;
+              Trace.record_op t.trace
+                {
+                  Trace.step = t.step;
+                  pid = task.t_pid;
+                  obj_id = obj.Shared.id;
+                  obj_name = obj.Shared.name;
+                  op;
+                  phase = `Invoke;
+                };
+              task.t_state <- Suspended_call (k, pend))
+        | Self -> Some (fun (k : (a, unit) continuation) -> continue k task.t_pid)
+        | _ -> None);
+  }
+
+let runnable_task task =
+  match task.t_state with
+  | Ready _ | Suspended_local _ | Suspended_call _ -> true
+  | Running | Finished -> false
+
+let proc_runnable proc =
+  (not proc.is_crashed) && List.exists runnable_task proc.tasks
+
+(* Pick the next runnable task of [proc], round-robin. *)
+let pick_task proc =
+  let tasks = Array.of_list proc.tasks in
+  let count = Array.length tasks in
+  let rec search tries idx =
+    if tries >= count then None
+    else
+      let task = tasks.(idx mod count) in
+      if runnable_task task then begin
+        proc.next_task <- (idx mod count) + 1;
+        Some task
+      end
+      else search (tries + 1) (idx + 1)
+  in
+  search 0 proc.next_task
+
+let exec_task_step t task =
+  match task.t_state with
+  | Ready body ->
+    task.t_state <- Running;
+    Effect.Deep.match_with body () (handler t task)
+  | Suspended_local k ->
+    task.t_state <- Running;
+    Effect.Deep.continue k ()
+  | Suspended_call (k, pend) ->
+    let result = respond_pending t pend in
+    task.t_state <- Running;
+    Effect.Deep.continue k result
+  | Running | Finished -> assert false
+
+let crash_proc t proc =
+  proc.is_crashed <- true;
+  (* Resolve any in-flight operation so the object's state is well defined,
+     then unwind every suspended task. *)
+  let finish task =
+    match task.t_state with
+    | Suspended_call (k, pend) ->
+      let (_ : Value.t) = respond_pending t pend in
+      task.t_state <- Finished;
+      (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
+    | Suspended_local k ->
+      task.t_state <- Finished;
+      (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
+    | Ready _ -> task.t_state <- Finished
+    | Running | Finished -> ()
+  in
+  List.iter finish proc.tasks
+
+let apply_due_crashes t =
+  let due, later = List.partition (fun (s, _) -> s <= t.step) t.crashes in
+  t.crashes <- later;
+  List.iter
+    (fun (_, pid) ->
+      let proc = t.procs.(pid) in
+      if not proc.is_crashed then crash_proc t proc)
+    due
+
+let run t ~policy ~steps =
+  let deadline = t.step + steps in
+  let continue_run = ref true in
+  while !continue_run && t.step < deadline do
+    apply_due_crashes t;
+    let runnable =
+      Array.to_list t.procs
+      |> List.filter proc_runnable
+      |> List.map (fun p -> p.pid)
+      |> Array.of_list
+    in
+    if Array.length runnable = 0 then continue_run := false
+    else begin
+      (match Policy.next policy ~step:t.step ~runnable ~rng:t.rng with
+      | None -> Trace.record_step t.trace ~pid:(-1) (* idle step *)
+      | Some pid ->
+        let proc = t.procs.(pid) in
+        (match pick_task proc with
+        | None -> Trace.record_step t.trace ~pid:(-1)
+        | Some task ->
+          Trace.record_step t.trace ~pid;
+          t.current <- Some (pid, task);
+          exec_task_step t task;
+          t.current <- None));
+      t.step <- t.step + 1
+    end
+  done
+
+let stop t =
+  let teardown task =
+    match task.t_state with
+    | Suspended_local k ->
+      task.t_state <- Finished;
+      (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
+    | Suspended_call (k, pend) ->
+      let (_ : int) = remove_pending t pend in
+      task.t_state <- Finished;
+      (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
+    | Ready _ -> task.t_state <- Finished
+    | Running | Finished -> ()
+  in
+  Array.iter (fun proc -> List.iter teardown proc.tasks) t.procs

@@ -1,0 +1,79 @@
+(** The step simulator.
+
+    A runtime hosts [n] processes (pids 0..n-1). Each process runs one or
+    more {e tasks} — coroutines implemented with OCaml effects — modelling
+    the paper's view that leader-election code, activity-monitor code and
+    application code all execute "at" the process and share its local state.
+
+    One {e step} schedules one task of one process and runs it from its last
+    suspension point to its next effect. Shared-object operations span two
+    steps: the step that performs the invocation, and the later step (the
+    next time the task is scheduled) at which the operation takes effect and
+    its result is delivered. Two operations on the same object are
+    {e concurrent} iff their invoke/response windows overlap; the runtime
+    tracks this and reports it to the object (see {!Shared.ctx}), which is
+    what drives abortable-register semantics.
+
+    Runs are deterministic: a run is a pure function of (seed, policy,
+    spawned code). *)
+
+type t
+
+val create : ?seed:int64 -> n:int -> unit -> t
+(** [create ~n ()] makes a runtime with processes 0..n-1 and no tasks. *)
+
+val n : t -> int
+val rng : t -> Rng.t
+val trace : t -> Trace.t
+
+val now : t -> int
+(** Number of steps executed so far (also the index of the next step). *)
+
+val register_object : t -> name:string -> respond:(Shared.ctx -> Value.t) -> Shared.t
+(** Create a shared object with a fresh id. [respond] is called at each
+    operation's response step (and once, with the final context, if the
+    invoking process crashes mid-operation). *)
+
+val spawn : t -> pid:int -> name:string -> (unit -> unit) -> unit
+(** Add a task to process [pid]. Tasks added to the same process share its
+    steps round-robin. May be called before or during a run. *)
+
+val crash_at : t -> pid:int -> step:int -> unit
+(** Schedule [pid] to crash just before step [step] executes. A crashed
+    process never takes another step; its in-flight operation (if any) is
+    resolved at crash time so the object's state stays well defined. *)
+
+val crashed : t -> pid:int -> bool
+
+val run : t -> policy:Policy.t -> steps:int -> unit
+(** Execute up to [steps] further steps. Stops early only if no process has
+    a runnable task. May be called repeatedly (e.g. with different policies)
+    to build phased schedules. *)
+
+val stop : t -> unit
+(** Tear down all suspended tasks by resuming them with an exception. After
+    [stop] the runtime can still be inspected but not run. *)
+
+(** {2 Inside-task API}
+
+    These may only be called from code running inside a task spawned on this
+    runtime. *)
+
+val yield : unit -> unit
+(** Give up the current step; the task resumes the next time it is
+    scheduled. One [yield] models one local step of the paper's model. *)
+
+val call : Shared.t -> Value.t -> Value.t
+(** Perform an operation on a shared object: invocation at the current
+    step, response at the task's next scheduled step. *)
+
+val await : (unit -> bool) -> unit
+(** Busy-wait (one step per test) until the condition holds — the paper's
+    [while ... do skip]. *)
+
+val self : unit -> int
+(** Pid of the process executing the current task. *)
+
+exception Simulation_over
+(** Raised inside suspended tasks by {!stop} to unwind them. Task code that
+    installs [try ... with] around loops must re-raise it. *)

@@ -1,0 +1,44 @@
+(* Scan the suffix once, counting q-steps between consecutive p-steps. *)
+let max_gap trace ~p ~q ~from_step =
+  let len = Trace.length trace in
+  let biggest = ref 0 in
+  let current = ref 0 in
+  let p_stepped = ref false in
+  for i = from_step to len - 1 do
+    let pid = Trace.pid_at trace i in
+    if pid = p then begin
+      p_stepped := true;
+      if !current > !biggest then biggest := !current;
+      current := 0
+    end
+    else if pid = q then incr current
+  done;
+  if !current > !biggest then biggest := !current;
+  if !p_stepped then Some !biggest
+  else if !biggest = 0 then Some 0 (* q silent too: vacuously fine *)
+  else None
+
+let q_timely trace ~p ~q ~from_step ~bound =
+  match max_gap trace ~p ~q ~from_step with
+  | Some gap -> gap <= bound
+  | None -> false
+
+let timely trace ~n ~p ~from_step ~bound =
+  let ok = ref true in
+  for q = 0 to n - 1 do
+    if q <> p && not (q_timely trace ~p ~q ~from_step ~bound) then ok := false
+  done;
+  !ok
+
+let timely_set trace ~n ~from_step ~bound =
+  List.init n Fun.id |> List.filter (fun p -> timely trace ~n ~p ~from_step ~bound)
+
+let empirical_bound trace ~n ~p ~from_step =
+  let worst = ref (Some 0) in
+  for q = 0 to n - 1 do
+    if q <> p then
+      match !worst, max_gap trace ~p ~q ~from_step with
+      | Some acc, Some gap -> worst := Some (max acc gap)
+      | _, None | None, _ -> worst := None
+  done;
+  Option.map (fun gap -> gap + 1) !worst

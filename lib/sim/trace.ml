@@ -1,0 +1,75 @@
+type op_event = {
+  step : int;
+  pid : int;
+  obj_id : int;
+  obj_name : string;
+  op : Value.t;
+  phase : [ `Invoke | `Respond of Value.t ];
+}
+
+type t = {
+  mutable steps : int array;  (* steps.(i) = pid of step i *)
+  mutable len : int;
+  mutable events : op_event list;  (* reverse chronological *)
+  mutable n_events : int;
+}
+
+let create () = { steps = Array.make 1024 (-1); len = 0; events = []; n_events = 0 }
+
+let record_step t ~pid =
+  if t.len = Array.length t.steps then begin
+    let bigger = Array.make (2 * t.len) (-1) in
+    Array.blit t.steps 0 bigger 0 t.len;
+    t.steps <- bigger
+  end;
+  t.steps.(t.len) <- pid;
+  t.len <- t.len + 1
+
+let record_op t ev =
+  t.events <- ev :: t.events;
+  t.n_events <- t.n_events + 1
+
+let length t = t.len
+
+let pid_at t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.pid_at: out of range";
+  t.steps.(i)
+
+let steps_of t ~pid =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if t.steps.(i) = pid then acc := i :: !acc
+  done;
+  !acc
+
+let step_counts t ~n =
+  let counts = Array.make n 0 in
+  for i = 0 to t.len - 1 do
+    let p = t.steps.(i) in
+    if p >= 0 && p < n then counts.(p) <- counts.(p) + 1
+  done;
+  counts
+
+let ops t = List.rev t.events
+
+let iter_ops t f = List.iter f (List.rev t.events)
+
+let writes_in_window t ~obj_prefix ~from_step ~to_step =
+  let counts = Hashtbl.create 16 in
+  let prefix_matches name =
+    String.length name >= String.length obj_prefix
+    && String.sub name 0 (String.length obj_prefix) = obj_prefix
+  in
+  let record ev =
+    match ev.phase with
+    | `Respond result
+      when ev.step >= from_step && ev.step <= to_step
+           && Value.is_write ev.op
+           && (not (Value.equal result Value.Abort))
+           && prefix_matches ev.obj_name ->
+      let current = Option.value (Hashtbl.find_opt counts ev.pid) ~default:0 in
+      Hashtbl.replace counts ev.pid (current + 1)
+    | `Respond _ | `Invoke -> ()
+  in
+  List.iter record t.events;
+  counts

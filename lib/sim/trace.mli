@@ -1,0 +1,48 @@
+(** Run traces.
+
+    A trace records which process took each step, plus a separate compact
+    log of shared-object operations (invocations and responses). Analyses
+    such as empirical timeliness classification (Definitions 1–2 of the
+    paper) and the write-efficiency experiment read the trace after a run. *)
+
+type op_event = {
+  step : int;          (** step at which the event happened *)
+  pid : int;
+  obj_id : int;
+  obj_name : string;
+  op : Value.t;
+  phase : [ `Invoke | `Respond of Value.t ];
+      (** [`Respond r] carries the result delivered to the caller *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_step : t -> pid:int -> unit
+(** Append one scheduler step taken by [pid]. Steps are numbered from 0 in
+    the order recorded. *)
+
+val record_op : t -> op_event -> unit
+
+val length : t -> int
+(** Number of steps recorded so far. *)
+
+val pid_at : t -> int -> int
+(** [pid_at t i] is the process that took step [i]. *)
+
+val steps_of : t -> pid:int -> int list
+(** Ascending list of step indices taken by [pid]. *)
+
+val step_counts : t -> n:int -> int array
+(** [step_counts t ~n] gives, for each pid < n, its number of steps. *)
+
+val ops : t -> op_event list
+(** All operation events, in chronological order. *)
+
+val iter_ops : t -> (op_event -> unit) -> unit
+
+val writes_in_window : t -> obj_prefix:string -> from_step:int -> to_step:int -> (int, int) Hashtbl.t
+(** Count successful shared-register write responses per pid in the given
+    step window, restricted to objects whose name starts with [obj_prefix].
+    Aborted writes (result ⊥) are not counted. *)

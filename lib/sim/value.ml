@@ -1,0 +1,49 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+  | Abort
+  | Fail
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Abort, Abort -> true
+  | Fail, Fail -> true
+  | (Unit | Bool _ | Int _ | Str _ | Pair _ | List _ | Abort | Fail), _ ->
+    false
+
+let rec pp fmt = function
+  | Unit -> Fmt.string fmt "()"
+  | Bool b -> Fmt.bool fmt b
+  | Int i -> Fmt.int fmt i
+  | Str s -> Fmt.pf fmt "%S" s
+  | Pair (a, b) -> Fmt.pf fmt "(%a, %a)" pp a pp b
+  | List vs -> Fmt.pf fmt "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) vs
+  | Abort -> Fmt.string fmt "⊥"
+  | Fail -> Fmt.string fmt "F"
+
+let to_string v = Fmt.str "%a" pp v
+
+let read_op = Pair (Str "read", Unit)
+let write_op v = Pair (Str "write", v)
+
+let is_write = function Pair (Str "write", _) -> true | _ -> false
+let is_read = function Pair (Str "read", _) -> true | _ -> false
+
+let shape_error what v =
+  invalid_arg (Fmt.str "Value.%s: unexpected shape %a" what pp v)
+
+let to_int = function Int i -> i | v -> shape_error "to_int" v
+let to_bool = function Bool b -> b | v -> shape_error "to_bool" v
+let to_pair = function Pair (a, b) -> a, b | v -> shape_error "to_pair" v
+let to_list = function List vs -> vs | v -> shape_error "to_list" v

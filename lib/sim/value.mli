@@ -1,0 +1,47 @@
+(** Dynamic values exchanged between algorithm code and simulated shared
+    objects.
+
+    Shared-object operations and results cross the simulator's effect
+    boundary as values of this single type; typed wrappers (see
+    [Tbwf_registers]) encode and decode at the edges.
+
+    Conventions used throughout the code base:
+    - a read operation is encoded as [Pair (Str "read", Unit)];
+    - a write of [v] is encoded as [Pair (Str "write", v)];
+    - an aborted operation's result is [Abort] (the paper's ⊥);
+    - a failed query result is [Fail] (the paper's F). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+  | Abort  (** the special value ⊥ returned by aborted operations *)
+  | Fail   (** the special value F returned by query when the op did not take effect *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Encoding helpers} *)
+
+val read_op : t
+(** [Pair (Str "read", Unit)] *)
+
+val write_op : t -> t
+(** [write_op v] is [Pair (Str "write", v)] *)
+
+val is_write : t -> bool
+val is_read : t -> bool
+
+(** {2 Decoding helpers}
+
+    These raise [Invalid_argument] on shape mismatch; a decoding failure is
+    always a bug in the caller, never a legal run of the simulation. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_pair : t -> t * t
+val to_list : t -> t list

@@ -1,0 +1,177 @@
+open Tbwf_sim
+open Tbwf_check
+
+let op ~pid ~invoke ~respond o result =
+  { History.pid; op = o; result; invoke; respond }
+
+let reg_spec = Linearizability.register_spec ~init:(Value.Int 0)
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty is linearizable" true
+    (Linearizability.check reg_spec [])
+
+let test_sequential_good () =
+  let history =
+    [
+      op ~pid:0 ~invoke:0 ~respond:1 (Value.write_op (Value.Int 5)) Value.Unit;
+      op ~pid:0 ~invoke:2 ~respond:3 Value.read_op (Value.Int 5);
+    ]
+  in
+  Alcotest.(check bool) "write then read" true
+    (Linearizability.check reg_spec history)
+
+let test_sequential_bad () =
+  let history =
+    [
+      op ~pid:0 ~invoke:0 ~respond:1 (Value.write_op (Value.Int 5)) Value.Unit;
+      op ~pid:0 ~invoke:2 ~respond:3 Value.read_op (Value.Int 6);
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Linearizability.check reg_spec history)
+
+let test_concurrent_either_order () =
+  (* Two concurrent writes then a read seeing either one. *)
+  let base v =
+    [
+      op ~pid:0 ~invoke:0 ~respond:3 (Value.write_op (Value.Int 1)) Value.Unit;
+      op ~pid:1 ~invoke:1 ~respond:2 (Value.write_op (Value.Int 2)) Value.Unit;
+      op ~pid:2 ~invoke:4 ~respond:5 Value.read_op (Value.Int v);
+    ]
+  in
+  Alcotest.(check bool) "read 1 ok" true (Linearizability.check reg_spec (base 1));
+  Alcotest.(check bool) "read 2 ok" true (Linearizability.check reg_spec (base 2));
+  Alcotest.(check bool) "read 3 impossible" false
+    (Linearizability.check reg_spec (base 3))
+
+let test_real_time_order_respected () =
+  (* Sequential write 1 THEN write 2 (non-overlapping) — a later read of 1
+     is not linearizable. *)
+  let history =
+    [
+      op ~pid:0 ~invoke:0 ~respond:1 (Value.write_op (Value.Int 1)) Value.Unit;
+      op ~pid:1 ~invoke:2 ~respond:3 (Value.write_op (Value.Int 2)) Value.Unit;
+      op ~pid:2 ~invoke:4 ~respond:5 Value.read_op (Value.Int 1);
+    ]
+  in
+  Alcotest.(check bool) "overwritten value not readable" false
+    (Linearizability.check reg_spec history)
+
+let test_concurrent_read_new_or_old () =
+  (* A read concurrent with a write may see either old or new value. *)
+  let base v =
+    [
+      op ~pid:0 ~invoke:0 ~respond:1 (Value.write_op (Value.Int 1)) Value.Unit;
+      op ~pid:0 ~invoke:2 ~respond:6 (Value.write_op (Value.Int 2)) Value.Unit;
+      op ~pid:1 ~invoke:3 ~respond:4 Value.read_op (Value.Int v);
+    ]
+  in
+  Alcotest.(check bool) "old ok" true (Linearizability.check reg_spec (base 1));
+  Alcotest.(check bool) "new ok" true (Linearizability.check reg_spec (base 2))
+
+let test_counter_spec () =
+  let history ok =
+    [
+      op ~pid:0 ~invoke:0 ~respond:1 (Value.Str "inc") (Value.Int 0);
+      op ~pid:1 ~invoke:2 ~respond:3 (Value.Str "inc") (Value.Int (if ok then 1 else 0));
+      op ~pid:0 ~invoke:4 ~respond:5 Value.read_op (Value.Int 2);
+    ]
+  in
+  Alcotest.(check bool) "monotone increments ok" true
+    (Linearizability.check Linearizability.counter_spec (history true));
+  Alcotest.(check bool) "duplicate return rejected" false
+    (Linearizability.check Linearizability.counter_spec (history false))
+
+let test_history_extraction () =
+  let rt = Runtime.create ~n:2 () in
+  let reg =
+    Tbwf_registers.Atomic_reg.create rt ~name:"X"
+      ~codec:Tbwf_registers.Codec.int ~init:0
+  in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        Tbwf_registers.Atomic_reg.write reg pid;
+        ignore (Tbwf_registers.Atomic_reg.read reg))
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:100;
+  let history = History.complete_ops (Runtime.trace rt) ~obj_name:"X" in
+  Alcotest.(check int) "four complete ops" 4 (List.length history);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "window ordered" true (o.History.invoke < o.History.respond))
+    history
+
+let test_pending_ops_dropped () =
+  let rt = Runtime.create ~n:1 () in
+  let obj =
+    Runtime.register_object rt ~name:"Y" ~respond:(fun _ -> Value.Unit)
+  in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      let (_ : Value.t) = Runtime.call obj Value.read_op in
+      let (_ : Value.t) = Runtime.call obj Value.read_op in
+      ());
+  (* Stop after 2 steps: the first op completes at step 1 — the same step
+     whose continuation also invokes the second op, which is then left
+     pending. *)
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:2;
+  let history = History.complete_ops (Runtime.trace rt) ~obj_name:"Y" in
+  Alcotest.(check int) "only the complete op extracted" 1 (List.length history);
+  Runtime.stop rt
+
+(* Random register histories produced by the ATOMIC register are always
+   accepted; mutated results are usually rejected. Covers the checker
+   against its own blind spots. *)
+let qcheck_mutation_detected =
+  QCheck.Test.make ~name:"mutating a read result breaks linearizability"
+    ~count:50
+    QCheck.(int_range 1 5_000)
+    (fun seed ->
+      let rt = Runtime.create ~seed:(Int64.of_int seed) ~n:2 () in
+      let reg =
+        Tbwf_registers.Atomic_reg.create rt ~name:"Z"
+          ~codec:Tbwf_registers.Codec.int ~init:0
+      in
+      for pid = 0 to 1 do
+        Runtime.spawn rt ~pid ~name:"t" (fun () ->
+            for k = 1 to 3 do
+              Tbwf_registers.Atomic_reg.write reg ((pid * 100) + k);
+              ignore (Tbwf_registers.Atomic_reg.read reg)
+            done)
+      done;
+      Runtime.run rt ~policy:(Policy.weighted [| 0, 1.0; 1, 1.3 |]) ~steps:300;
+      Runtime.stop rt;
+      let history = History.complete_ops (Runtime.trace rt) ~obj_name:"Z" in
+      let mutated =
+        List.map
+          (fun o ->
+            if Value.is_read o.History.op then
+              { o with History.result = Value.Int 999_999 }
+            else o)
+          history
+      in
+      Linearizability.check reg_spec history
+      && not (Linearizability.check reg_spec mutated))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "linearizability",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential good" `Quick test_sequential_good;
+          Alcotest.test_case "sequential bad" `Quick test_sequential_bad;
+          Alcotest.test_case "concurrent either order" `Quick
+            test_concurrent_either_order;
+          Alcotest.test_case "real-time order respected" `Quick
+            test_real_time_order_respected;
+          Alcotest.test_case "concurrent read old or new" `Quick
+            test_concurrent_read_new_or_old;
+          Alcotest.test_case "counter spec" `Quick test_counter_spec;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "extraction" `Quick test_history_extraction;
+          Alcotest.test_case "pending dropped" `Quick test_pending_ops_dropped;
+          QCheck_alcotest.to_alcotest qcheck_mutation_detected;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+open Tbwf_consensus
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let setup ?(seed = 2L) ~omega ~n () =
+  let rt = Runtime.create ~seed ~n () in
+  let handles =
+    match omega with
+    | `Atomic -> (Omega_registers.install rt).Omega_registers.handles
+    | `Abortable ->
+      (Omega_abortable.install rt ~policy:Abort_policy.Always ()).Omega_abortable.handles
+  in
+  let adapter = Consensus.Omega_adapter.attach handles in
+  let instance = Consensus.create rt ~name:"cons" ~omega:adapter in
+  rt, instance
+
+let spawn_proposers rt instance ~pids ~decisions =
+  List.iter
+    (fun pid ->
+      Runtime.spawn rt ~pid ~name:"proposer" (fun () ->
+          let decided = Consensus.propose instance (Value.Int (100 + pid)) in
+          decisions.(pid) <- Some decided))
+    pids
+
+let check_agreement_validity ~n ~decisions ~must_decide =
+  let decided_values =
+    Array.to_list decisions |> List.filter_map Fun.id
+  in
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) (Fmt.str "pid %d decided" pid) true
+        (decisions.(pid) <> None))
+    must_decide;
+  (match decided_values with
+  | [] -> Alcotest.fail "nobody decided"
+  | first :: rest ->
+    List.iter (fun v -> Alcotest.check value "agreement" first v) rest;
+    let valid =
+      List.exists
+        (fun pid -> Value.equal first (Value.Int (100 + pid)))
+        (List.init n Fun.id)
+    in
+    Alcotest.(check bool) "validity (decision was proposed)" true valid)
+
+let test_all_timely omega () =
+  let n = 4 in
+  let rt, instance = setup ~omega ~n () in
+  let decisions = Array.make n None in
+  spawn_proposers rt instance ~pids:(List.init n Fun.id) ~decisions;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:400_000;
+  Runtime.stop rt;
+  check_agreement_validity ~n ~decisions ~must_decide:(List.init n Fun.id)
+
+let test_untimely_proposer () =
+  let n = 4 in
+  let rt, instance = setup ~seed:9L ~omega:`Atomic ~n () in
+  let decisions = Array.make n None in
+  spawn_proposers rt instance ~pids:(List.init n Fun.id) ~decisions;
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Slowing { initial_gap = 60; growth = 1.2; burst = 32 };
+        1, Policy.Every { period = 6; offset = 0 };
+        2, Policy.Every { period = 6; offset = 2 };
+        3, Policy.Every { period = 6; offset = 4 };
+      ]
+  in
+  Runtime.run rt ~policy ~steps:600_000;
+  Runtime.stop rt;
+  (* The timely processes must decide even though pid 0 keeps decelerating. *)
+  check_agreement_validity ~n ~decisions ~must_decide:[ 1; 2; 3 ]
+
+let test_leader_crash () =
+  let n = 3 in
+  let rt, instance = setup ~seed:11L ~omega:`Atomic ~n () in
+  let decisions = Array.make n None in
+  (* Delay proposals so the crash happens before any ballot completes only
+     for pid 0; survivors then drive the instance. *)
+  spawn_proposers rt instance ~pids:[ 0; 1; 2 ] ~decisions;
+  Runtime.crash_at rt ~pid:0 ~step:2_000;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:600_000;
+  Runtime.stop rt;
+  check_agreement_validity ~n ~decisions ~must_decide:[ 1; 2 ]
+
+let test_rejects_unit_proposal () =
+  let rt, instance = setup ~omega:`Atomic ~n:2 () in
+  let raised = ref false in
+  Runtime.spawn rt ~pid:0 ~name:"bad" (fun () ->
+      try ignore (Consensus.propose instance Value.Unit)
+      with Invalid_argument _ -> raised := true);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:1_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "Unit proposal rejected" true !raised
+
+(* Safety under arbitrary random schedules: whatever subset decides must
+   agree on a single proposed value — even when the schedule prevents a
+   stable leader and nobody is obliged to terminate. *)
+let qcheck_safety_random_schedules =
+  QCheck.Test.make ~name:"agreement+validity on random schedules" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let n = 3 in
+      let rt, instance = setup ~seed:(Int64.of_int seed) ~omega:`Atomic ~n () in
+      let decisions = Array.make n None in
+      spawn_proposers rt instance ~pids:(List.init n Fun.id) ~decisions;
+      let policy =
+        Policy.weighted [| 0, 1.0; 1, 0.4 +. float_of_int (seed mod 7); 2, 2.0 |]
+      in
+      Runtime.run rt ~policy ~steps:60_000;
+      Runtime.stop rt;
+      let decided_values =
+        Array.to_list decisions |> List.filter_map Fun.id
+      in
+      let all_equal =
+        match decided_values with
+        | [] -> true
+        | first :: rest -> List.for_all (Value.equal first) rest
+      in
+      let all_valid =
+        List.for_all
+          (fun v ->
+            List.exists
+              (fun pid -> Value.equal v (Value.Int (100 + pid)))
+              (List.init n Fun.id))
+          decided_values
+      in
+      all_equal && all_valid)
+
+let () =
+  Alcotest.run "consensus"
+    [
+      ( "termination",
+        [
+          Alcotest.test_case "all timely (atomic omega)" `Quick
+            (test_all_timely `Atomic);
+          Alcotest.test_case "all timely (abortable omega)" `Slow
+            (test_all_timely `Abortable);
+          Alcotest.test_case "untimely proposer" `Slow test_untimely_proposer;
+          Alcotest.test_case "leader crash" `Slow test_leader_crash;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "rejects Unit proposal" `Quick
+            test_rejects_unit_proposal;
+          QCheck_alcotest.to_alcotest qcheck_safety_random_schedules;
+        ] );
+    ]

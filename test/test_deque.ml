@@ -1,0 +1,330 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_objects
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- Cas_reg ------------------------------------------------------------- *)
+
+let test_cas_reg_basic () =
+  let rt = Runtime.create ~n:1 () in
+  let reg = Cas_reg.create rt ~name:"c" ~codec:Codec.int ~init:5 in
+  let outcomes = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      outcomes := Cas_reg.cas reg ~expected:5 ~desired:7 :: !outcomes;
+      outcomes := Cas_reg.cas reg ~expected:5 ~desired:9 :: !outcomes;
+      Cas_reg.write reg 1;
+      outcomes := Cas_reg.cas reg ~expected:1 ~desired:2 :: !outcomes);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:100;
+  Alcotest.(check (list bool)) "cas outcomes" [ true; false; true ]
+    (List.rev !outcomes);
+  Alcotest.(check int) "final value" 2 (Cas_reg.peek reg)
+
+let test_cas_reg_linearizes_races () =
+  (* Two processes CAS from the same expected value: exactly one wins. *)
+  let rt = Runtime.create ~n:2 () in
+  let reg = Cas_reg.create rt ~name:"c" ~codec:Codec.int ~init:0 in
+  let wins = Array.make 2 false in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        wins.(pid) <- Cas_reg.cas reg ~expected:0 ~desired:(pid + 1))
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:100;
+  Alcotest.(check bool) "exactly one winner" true (wins.(0) <> wins.(1));
+  let winner = if wins.(0) then 1 else 2 in
+  Alcotest.(check int) "value is winner's" winner (Cas_reg.peek reg)
+
+(* --- sequential deque spec ----------------------------------------------- *)
+
+let test_deque_spec () =
+  let apply = Seq_spec.apply_exn Deque_obj.spec in
+  let s = Deque_obj.spec.Seq_spec.initial in
+  let s, _ = apply s (Deque_obj.push_right (Value.Int 2)) in
+  let s, _ = apply s (Deque_obj.push_left (Value.Int 1)) in
+  let s, _ = apply s (Deque_obj.push_right (Value.Int 3)) in
+  let s, r1 = apply s Deque_obj.pop_left in
+  Alcotest.check value "pop left" (Value.Int 1) r1;
+  let s, r2 = apply s Deque_obj.pop_right in
+  Alcotest.check value "pop right" (Value.Int 3) r2;
+  let s, r3 = apply s Deque_obj.pop_right in
+  Alcotest.check value "last" (Value.Int 2) r3;
+  let _, r4 = apply s Deque_obj.pop_left in
+  Alcotest.check value "empty" Deque_obj.empty_response r4
+
+(* Property: a deque driven only at the right end behaves like a stack; only
+   push-right/pop-left behaves like a queue. *)
+let qcheck_deque_degenerations =
+  QCheck.Test.make ~name:"deque degenerates to stack and queue" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let pushes = List.map (fun x -> Deque_obj.push_right (Value.Int x)) xs in
+      let pops_right = List.map (fun _ -> Deque_obj.pop_right) xs in
+      let pops_left = List.map (fun _ -> Deque_obj.pop_left) xs in
+      let run ops = Seq_spec.run_sequential Deque_obj.spec ops in
+      let tail n responses = List.filteri (fun i _ -> i >= n) responses in
+      let as_stack = tail (List.length xs) (run (pushes @ pops_right)) in
+      let as_queue = tail (List.length xs) (run (pushes @ pops_left)) in
+      List.for_all2 (fun got want -> Value.equal got (Value.Int want)) as_stack
+        (List.rev xs)
+      && List.for_all2 (fun got want -> Value.equal got (Value.Int want)) as_queue xs)
+
+(* --- HLM deque ----------------------------------------------------------- *)
+
+let test_hlm_solo_matches_spec () =
+  let rt = Runtime.create ~n:1 () in
+  let deque = Hlm_deque.create rt ~name:"D" ~capacity:8 in
+  let log = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      assert (Hlm_deque.right_push deque (Value.Int 1) = `Ok);
+      assert (Hlm_deque.right_push deque (Value.Int 2) = `Ok);
+      assert (Hlm_deque.left_push deque (Value.Int 0) = `Ok);
+      let record outcome =
+        match outcome with
+        | `Value v -> log := v :: !log
+        | `Empty -> log := Value.Str "empty" :: !log
+      in
+      record (Hlm_deque.right_pop deque);
+      record (Hlm_deque.left_pop deque);
+      record (Hlm_deque.left_pop deque);
+      record (Hlm_deque.left_pop deque));
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:100_000;
+  Runtime.stop rt;
+  Alcotest.(check (list (of_pp Value.pp)))
+    "pop sequence"
+    [ Value.Int 2; Value.Int 0; Value.Int 1; Value.Str "empty" ]
+    (List.rev !log);
+  Alcotest.(check int) "deque drained" 0
+    (List.length (Hlm_deque.peek_contents deque))
+
+let test_hlm_full () =
+  (* Non-circular array (as in [10]'s simple version): each side owns the
+     slots between the initial boundary and its sentinel — capacity 2 means
+     one right slot and one left slot. *)
+  let rt = Runtime.create ~n:1 () in
+  let deque = Hlm_deque.create rt ~name:"D" ~capacity:2 in
+  let right2 = ref `Ok and left2 = ref `Ok in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      assert (Hlm_deque.right_push deque (Value.Int 1) = `Ok);
+      right2 := Hlm_deque.right_push deque (Value.Int 2);
+      assert (Hlm_deque.left_push deque (Value.Int 3) = `Ok);
+      left2 := Hlm_deque.left_push deque (Value.Int 4));
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:50_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "right side full" true (!right2 = `Full);
+  Alcotest.(check bool) "left side full" true (!left2 = `Full);
+  Alcotest.(check int) "two values held" 2
+    (List.length (Hlm_deque.peek_contents deque))
+
+let test_hlm_concurrent_no_loss () =
+  (* Two pushers then two poppers: every pushed value is popped exactly
+     once (no duplication, no loss), for several schedules. *)
+  let run seed =
+    let rt = Runtime.create ~seed:(Int64.of_int seed) ~n:2 () in
+    let deque = Hlm_deque.create rt ~name:"D" ~capacity:32 in
+    let popped = ref [] in
+    for pid = 0 to 1 do
+      Runtime.spawn rt ~pid ~name:"t" (fun () ->
+          for k = 1 to 6 do
+            let v = Value.Int ((pid * 100) + k) in
+            match
+              if pid = 0 then Hlm_deque.right_push deque v
+              else Hlm_deque.left_push deque v
+            with
+            | `Ok -> ()
+            | `Full -> assert false
+          done;
+          let drained = ref 0 in
+          while !drained < 6 do
+            match
+              if pid = 0 then Hlm_deque.right_pop deque
+              else Hlm_deque.left_pop deque
+            with
+            | `Value v ->
+              incr drained;
+              popped := v :: !popped
+            | `Empty -> Runtime.yield ()
+          done)
+    done;
+    Runtime.run rt ~policy:(Policy.weighted [| 0, 1.0; 1, 1.3 |]) ~steps:400_000;
+    Runtime.stop rt;
+    let ints = List.map Value.to_int !popped |> List.sort compare in
+    let expected =
+      (List.init 6 (fun k -> k + 1) @ List.init 6 (fun k -> 100 + k + 1))
+      |> List.sort compare
+    in
+    ints = expected
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool) (Fmt.str "seed %d" seed) true (run seed))
+    [ 1; 2; 3 ]
+
+let test_hlm_bounded_retry_reports_interference () =
+  let rt = Runtime.create ~n:2 () in
+  let deque = Hlm_deque.create rt ~name:"D" ~capacity:8 in
+  let interfered = ref false in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        for _ = 1 to 50 do
+          match Hlm_deque.try_right_push deque (Value.Int pid) ~attempts:1 with
+          | `Interfered -> interfered := true
+          | `Ok | `Full -> ()
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:50_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "single-attempt ops do get interfered" true !interfered
+
+(* --- Cas_universal ------------------------------------------------------- *)
+
+let test_cas_universal_sequential () =
+  let rt = Runtime.create ~n:1 () in
+  let obj = Cas_universal.create rt ~name:"u" ~spec:Counter.spec in
+  let responses = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      for _ = 1 to 5 do
+        let r = Cas_universal.invoke obj Counter.inc in
+        responses := r :: !responses
+      done);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:10_000;
+  Runtime.stop rt;
+  Alcotest.(check (list int)) "responses 0..4" [ 0; 1; 2; 3; 4 ]
+    (List.rev_map Value.to_int !responses);
+  Alcotest.check value "state" (Value.Int 5) (Cas_universal.peek_state obj)
+
+let test_cas_universal_lock_free_no_lost_updates () =
+  let rt = Runtime.create ~seed:5L ~n:3 () in
+  let obj = Cas_universal.create rt ~name:"u" ~spec:Counter.spec in
+  let completed = Array.make 3 0 in
+  for pid = 0 to 2 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        for _ = 1 to 20 do
+          ignore (Cas_universal.invoke obj Counter.inc);
+          completed.(pid) <- completed.(pid) + 1
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.weighted [| 0, 1.0; 1, 2.0; 2, 0.5 |]) ~steps:200_000;
+  Runtime.stop rt;
+  Alcotest.(check (array int)) "all completed" [| 20; 20; 20 |] completed;
+  Alcotest.check value "no lost updates" (Value.Int 60)
+    (Cas_universal.peek_state obj)
+
+let test_cas_universal_starvable () =
+  (* The E12 asymmetric schedule: the 1-step-in-8 victim loses every race
+     even though it is timely — lock-freedom permits this. *)
+  let rt = Runtime.create ~seed:6L ~n:2 () in
+  let obj = Cas_universal.create rt ~name:"u" ~spec:Counter.spec in
+  let completed = Array.make 2 0 in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        while true do
+          ignore (Cas_universal.invoke obj Counter.inc);
+          completed.(pid) <- completed.(pid) + 1
+        done)
+  done;
+  let policy =
+    Policy.of_patterns
+      [ 0, Policy.Every { period = 8; offset = 0 }; 1, Policy.Weighted 1.0 ]
+  in
+  Runtime.run rt ~policy ~steps:100_000;
+  Runtime.stop rt;
+  Alcotest.(check int) "victim starves" 0 completed.(0);
+  Alcotest.(check bool) "attacker progresses (lock-freedom)" true
+    (completed.(1) > 1_000)
+
+(* --- Herlihy_universal ---------------------------------------------------- *)
+
+let test_herlihy_sequential () =
+  let rt = Runtime.create ~n:1 () in
+  let obj = Herlihy_universal.create rt ~name:"h" ~spec:Counter.spec in
+  let responses = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      for _ = 1 to 5 do
+        let r = Herlihy_universal.invoke obj Counter.inc in
+        responses := r :: !responses
+      done);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:10_000;
+  Runtime.stop rt;
+  Alcotest.(check (list int)) "responses 0..4" [ 0; 1; 2; 3; 4 ]
+    (List.rev_map Value.to_int !responses);
+  Alcotest.check value "state" (Value.Int 5) (Herlihy_universal.peek_state obj)
+
+let test_herlihy_no_lost_or_duplicated_ops () =
+  let rt = Runtime.create ~seed:8L ~n:3 () in
+  let obj = Herlihy_universal.create rt ~name:"h" ~spec:Counter.spec in
+  let seen = ref [] in
+  for pid = 0 to 2 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        for _ = 1 to 10 do
+          let r = Herlihy_universal.invoke obj Counter.inc in
+          seen := Value.to_int r :: !seen
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.weighted [| 0, 1.0; 1, 2.2; 2, 0.4 |])
+    ~steps:300_000;
+  Runtime.stop rt;
+  Alcotest.(check (list int))
+    "30 responses are a permutation of 0..29 (each inc applied exactly once)"
+    (List.init 30 Fun.id)
+    (List.sort compare !seen)
+
+let test_herlihy_wait_free_under_asymmetry () =
+  (* The same schedule that starves the lock-free victim: helping makes the
+     1-in-8 process complete operations anyway. *)
+  let rt = Runtime.create ~seed:6L ~n:2 () in
+  let obj = Herlihy_universal.create rt ~name:"h" ~spec:Counter.spec in
+  let completed = Array.make 2 0 in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        while true do
+          ignore (Herlihy_universal.invoke obj Counter.inc);
+          completed.(pid) <- completed.(pid) + 1
+        done)
+  done;
+  let policy =
+    Policy.of_patterns
+      [ 0, Policy.Every { period = 8; offset = 0 }; 1, Policy.Weighted 1.0 ]
+  in
+  Runtime.run rt ~policy ~steps:100_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "victim progresses (helped)" true (completed.(0) > 500);
+  Alcotest.(check bool) "attacker progresses" true (completed.(1) > 500)
+
+let () =
+  Alcotest.run "deque"
+    [
+      ( "cas register",
+        [
+          Alcotest.test_case "basic cas" `Quick test_cas_reg_basic;
+          Alcotest.test_case "races linearize" `Quick test_cas_reg_linearizes_races;
+        ] );
+      ( "sequential spec",
+        [
+          Alcotest.test_case "deque spec" `Quick test_deque_spec;
+          QCheck_alcotest.to_alcotest qcheck_deque_degenerations;
+        ] );
+      ( "hlm deque",
+        [
+          Alcotest.test_case "solo matches spec" `Quick test_hlm_solo_matches_spec;
+          Alcotest.test_case "full detection" `Quick test_hlm_full;
+          Alcotest.test_case "concurrent no loss" `Slow test_hlm_concurrent_no_loss;
+          Alcotest.test_case "bounded retry interference" `Quick
+            test_hlm_bounded_retry_reports_interference;
+        ] );
+      ( "cas universal",
+        [
+          Alcotest.test_case "sequential" `Quick test_cas_universal_sequential;
+          Alcotest.test_case "lock-free, no lost updates" `Quick
+            test_cas_universal_lock_free_no_lost_updates;
+          Alcotest.test_case "starvable under asymmetry" `Quick
+            test_cas_universal_starvable;
+        ] );
+      ( "herlihy universal",
+        [
+          Alcotest.test_case "sequential" `Quick test_herlihy_sequential;
+          Alcotest.test_case "no lost or duplicated ops" `Quick
+            test_herlihy_no_lost_or_duplicated_ops;
+          Alcotest.test_case "wait-free under asymmetry" `Quick
+            test_herlihy_wait_free_under_asymmetry;
+        ] );
+    ]

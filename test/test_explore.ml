@@ -1,0 +1,173 @@
+(* Exhaustive schedule exploration: the invariants below hold over EVERY
+   interleaving of their (small) scenarios, not just sampled ones. *)
+
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_objects
+open Tbwf_check
+
+let make_runtime n () = Runtime.create ~seed:1L ~n ()
+
+(* --- atomic register: every interleaving is linearizable ----------------- *)
+
+let atomic_linearizable_scenario rt =
+  let reg = Atomic_reg.create rt ~name:"X" ~codec:Codec.int ~init:0 in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        Atomic_reg.write reg (pid + 1);
+        ignore (Atomic_reg.read reg))
+  done;
+  fun () ->
+    let history = History.complete_ops (Runtime.trace rt) ~obj_name:"X" in
+    Linearizability.check (Linearizability.register_spec ~init:(Value.Int 0)) history
+
+let test_atomic_all_schedules () =
+  let outcome =
+    Explore.exhaustive ~max_steps:10 ~scenario:atomic_linearizable_scenario
+      ~make_runtime:(make_runtime 2) ()
+  in
+  Alcotest.(check (option (list int))) "no violating schedule" None
+    outcome.Explore.violation;
+  Alcotest.(check bool) "explored many interleavings" true
+    (outcome.Explore.schedules > 20)
+
+(* The checker itself must be able to fail: a broken "register" that
+   returns a constant wrong value is caught by some schedule. *)
+let broken_register_scenario rt =
+  let cell = ref (Value.Int 0) in
+  let obj =
+    Runtime.register_object rt ~name:"B" ~respond:(fun ctx ->
+        match ctx.Shared.op with
+        | Value.Pair (Str "write", v) ->
+          cell := v;
+          Value.Unit
+        | Value.Pair (Str "read", _) -> Value.Int 999 (* always wrong *)
+        | _ -> assert false)
+  in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      let (_ : Value.t) = Runtime.call obj (Value.write_op (Value.Int 1)) in
+      let (_ : Value.t) = Runtime.call obj Value.read_op in
+      ());
+  fun () ->
+    let history = History.complete_ops (Runtime.trace rt) ~obj_name:"B" in
+    Linearizability.check (Linearizability.register_spec ~init:(Value.Int 0)) history
+
+let test_explorer_finds_violations () =
+  let outcome =
+    Explore.exhaustive ~max_steps:8 ~scenario:broken_register_scenario
+      ~make_runtime:(make_runtime 1) ()
+  in
+  Alcotest.(check bool) "witness script found" true
+    (outcome.Explore.violation <> None)
+
+(* --- abortable register: domain safety over every interleaving ----------- *)
+
+let abortable_domain_scenario rt =
+  let reg =
+    Abortable_reg.create rt ~name:"A" ~codec:Codec.int ~init:0 ~writer:0
+      ~reader:1 ~policy:Abort_policy.Always
+      ~write_effect:Abort_policy.Effect_always ()
+  in
+  let reads = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"w" (fun () ->
+      ignore (Abortable_reg.write reg 1);
+      ignore (Abortable_reg.write reg 2));
+  Runtime.spawn rt ~pid:1 ~name:"r" (fun () ->
+      for _ = 1 to 2 do
+        match Abortable_reg.read reg with
+        | Some v ->
+          let snapshot = !reads in
+          reads := v :: snapshot
+        | None -> ()
+      done);
+  fun () ->
+    (* Any successful read returns a value that was written or the init,
+       and the cell itself never leaves that domain. *)
+    List.for_all (fun v -> v = 0 || v = 1 || v = 2) !reads
+    && List.mem (Abortable_reg.peek reg) [ 0; 1; 2 ]
+
+let test_abortable_all_schedules () =
+  let outcome =
+    Explore.exhaustive ~max_steps:10 ~scenario:abortable_domain_scenario
+      ~make_runtime:(make_runtime 2) ()
+  in
+  Alcotest.(check (option (list int))) "no violating schedule" None
+    outcome.Explore.violation
+
+(* --- query-abortable object: fates are exact over every interleaving ----- *)
+
+let qa_fate_scenario rt =
+  let qa =
+    Qa_object.create rt ~name:"q" ~spec:Counter.spec ~policy:Abort_policy.Always
+      ~effect_on_abort:Abort_policy.Effect_always ()
+  in
+  let confirmed = ref [] in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        let res = qa.Qa_intf.invoke Counter.inc in
+        let fate =
+          if Value.equal res Value.Abort then qa.Qa_intf.query () else res
+        in
+        match fate with
+        | Value.Int v ->
+          let snapshot = !confirmed in
+          confirmed := v :: snapshot
+        | _ -> () (* query aborted or failed: fate unknown to this process *))
+  done;
+  fun () ->
+    (* Effect_always: both incs take effect exactly once eventually, so the
+       state never exceeds 2, confirmed responses are distinct pre-increment
+       values below the state, and the state always equals the number of
+       effects so far. *)
+    match qa.Qa_intf.peek_state () with
+    | Value.Int state ->
+      state >= 0 && state <= 2
+      && List.length !confirmed <= state
+      && List.for_all (fun v -> v >= 0 && v < state) !confirmed
+      && List.sort_uniq compare !confirmed = List.sort compare !confirmed
+    | _ -> false
+
+let test_qa_fates_all_schedules () =
+  let outcome =
+    Explore.exhaustive ~max_steps:12 ~scenario:qa_fate_scenario
+      ~make_runtime:(make_runtime 2) ()
+  in
+  Alcotest.(check (option (list int))) "no violating schedule" None
+    outcome.Explore.violation;
+  Alcotest.(check bool) "nontrivial exploration" true
+    (outcome.Explore.schedules > 15)
+
+(* --- budget guard --------------------------------------------------------- *)
+
+let test_budget_guard () =
+  let big_scenario rt =
+    for pid = 0 to 2 do
+      Runtime.spawn rt ~pid ~name:"t" (fun () ->
+          while true do
+            Runtime.yield ()
+          done)
+    done;
+    fun () -> true
+  in
+  Alcotest.check_raises "budget exceeded raises"
+    (Failure "Explore.exhaustive: schedule budget exceeded") (fun () ->
+      ignore
+        (Explore.exhaustive ~max_schedules:50 ~max_steps:30
+           ~scenario:big_scenario ~make_runtime:(make_runtime 3) ()))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "exhaustive",
+        [
+          Alcotest.test_case "atomic register linearizable on all schedules"
+            `Slow test_atomic_all_schedules;
+          Alcotest.test_case "explorer finds violations" `Quick
+            test_explorer_finds_violations;
+          Alcotest.test_case "abortable register domain-safe on all schedules"
+            `Slow test_abortable_all_schedules;
+          Alcotest.test_case "QA fates exact on all schedules" `Slow
+            test_qa_fates_all_schedules;
+          Alcotest.test_case "budget guard" `Quick test_budget_guard;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+open Tbwf_sim
+open Tbwf_monitor
+
+let status = Alcotest.testable Activity_monitor.pp_status Activity_monitor.equal_status
+
+(* Run one monitor scenario and return the final status/faultCntr plus
+   mid-run fault counter for boundedness checks. *)
+let run_monitor ?(seed = 5L) ?(steps = 60_000) ~setup ~schedule () =
+  let rt = Runtime.create ~seed ~n:2 () in
+  let mon = Activity_monitor.install rt ~p:0 ~q:1 in
+  setup rt mon;
+  let policy = schedule () in
+  Runtime.run rt ~policy ~steps:(steps / 2);
+  let mid_faults = !(mon.Activity_monitor.fault_cntr) in
+  Runtime.run rt ~policy ~steps:(steps / 2);
+  Runtime.stop rt;
+  mon, mid_faults
+
+let round_robin () = Policy.round_robin ()
+
+let untimely_q () =
+  Policy.of_patterns
+    [ 0, Policy.Every { period = 2; offset = 0 };
+      1, Policy.Flicker { active = 100; sleep = 300; growth = 1.5 } ]
+
+let both_on rt mon =
+  ignore rt;
+  mon.Activity_monitor.monitoring := true;
+  mon.Activity_monitor.active_for := true
+
+let test_initial_outputs () =
+  let rt = Runtime.create ~n:2 () in
+  let mon = Activity_monitor.install rt ~p:0 ~q:1 in
+  Alcotest.check status "initial status" Activity_monitor.Unknown
+    !(mon.Activity_monitor.status);
+  Alcotest.(check int) "initial faults" 0 !(mon.Activity_monitor.fault_cntr)
+
+let test_rejects_self_monitoring () =
+  let rt = Runtime.create ~n:2 () in
+  Alcotest.(check bool) "p = q rejected" true
+    (try
+       ignore (Activity_monitor.install rt ~p:1 ~q:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_not_monitoring_stays_unknown () =
+  let mon, _ =
+    run_monitor ~steps:10_000
+      ~setup:(fun _ mon -> mon.Activity_monitor.active_for := true)
+      ~schedule:round_robin ()
+  in
+  Alcotest.check status "status stays ?" Activity_monitor.Unknown
+    !(mon.Activity_monitor.status)
+
+let test_active_timely_q_seen_active () =
+  let mon, _ = run_monitor ~setup:both_on ~schedule:round_robin () in
+  Alcotest.check status "active" Activity_monitor.Active
+    !(mon.Activity_monitor.status);
+  Alcotest.(check int) "no faults for timely q" 0
+    !(mon.Activity_monitor.fault_cntr)
+
+let test_willing_stop_seen_inactive_without_new_faults () =
+  let mon, _ =
+    run_monitor
+      ~setup:(fun rt mon ->
+        both_on rt mon;
+        Runtime.spawn rt ~pid:1 ~name:"stopper" (fun () ->
+            for _ = 1 to 500 do
+              Runtime.yield ()
+            done;
+            mon.Activity_monitor.active_for := false))
+      ~schedule:round_robin ()
+  in
+  Alcotest.check status "inactive after willing stop" Activity_monitor.Inactive
+    !(mon.Activity_monitor.status);
+  (* At most one spurious fault from catching the stop mid-handshake. *)
+  Alcotest.(check bool) "faults bounded by 1" true
+    (!(mon.Activity_monitor.fault_cntr) <= 1)
+
+let test_crash_seen_inactive_bounded_faults () =
+  let mon, _ =
+    run_monitor
+      ~setup:(fun rt mon ->
+        both_on rt mon;
+        Runtime.crash_at rt ~pid:1 ~step:5_000)
+      ~schedule:round_robin ()
+  in
+  Alcotest.check status "inactive after crash" Activity_monitor.Inactive
+    !(mon.Activity_monitor.status);
+  (* Condition (b) of the increment rule: the register stops increasing, so
+     at most one fault is charged after the crash. *)
+  Alcotest.(check bool) "faults bounded" true
+    (!(mon.Activity_monitor.fault_cntr) <= 1)
+
+let test_untimely_q_faults_grow () =
+  let mon, mid_faults =
+    run_monitor ~steps:120_000 ~setup:both_on ~schedule:untimely_q ()
+  in
+  Alcotest.(check bool) "faults keep growing (property 6)" true
+    (!(mon.Activity_monitor.fault_cntr) > mid_faults);
+  Alcotest.(check bool) "multiple faults" true
+    (!(mon.Activity_monitor.fault_cntr) >= 3)
+
+let test_monitoring_off_resets_to_unknown () =
+  let mon, _ =
+    run_monitor
+      ~setup:(fun rt mon ->
+        both_on rt mon;
+        Runtime.spawn rt ~pid:0 ~name:"switch-off" (fun () ->
+            for _ = 1 to 500 do
+              Runtime.yield ()
+            done;
+            mon.Activity_monitor.monitoring := false))
+      ~schedule:round_robin ()
+  in
+  Alcotest.check status "back to ?" Activity_monitor.Unknown
+    !(mon.Activity_monitor.status)
+
+let test_monitor_restart () =
+  (* Turn monitoring off and on again: the monitor must resume and converge
+     back to active. *)
+  let mon, _ =
+    run_monitor
+      ~setup:(fun rt mon ->
+        both_on rt mon;
+        Runtime.spawn rt ~pid:0 ~name:"cycle" (fun () ->
+            for _ = 1 to 300 do
+              Runtime.yield ()
+            done;
+            mon.Activity_monitor.monitoring := false;
+            for _ = 1 to 300 do
+              Runtime.yield ()
+            done;
+            mon.Activity_monitor.monitoring := true))
+      ~schedule:round_robin ()
+  in
+  Alcotest.check status "active again after restart" Activity_monitor.Active
+    !(mon.Activity_monitor.status)
+
+let test_sample_helpers () =
+  let samples =
+    [
+      { Activity_monitor.at_step = 0; status_now = Activity_monitor.Active; fault_cntr_now = 1 };
+      { Activity_monitor.at_step = 1; status_now = Activity_monitor.Active; fault_cntr_now = 2 };
+      { Activity_monitor.at_step = 2; status_now = Activity_monitor.Active; fault_cntr_now = 2 };
+      { Activity_monitor.at_step = 3; status_now = Activity_monitor.Active; fault_cntr_now = 2 };
+    ]
+  in
+  Alcotest.(check bool) "bounded on suffix" true
+    (Activity_monitor.fault_cntr_bounded samples ~suffix:3);
+  Alcotest.(check bool) "not bounded over whole run" false
+    (Activity_monitor.fault_cntr_bounded samples ~suffix:4);
+  Alcotest.(check bool) "unbounded over whole run" true
+    (Activity_monitor.fault_cntr_unbounded samples ~suffix:4);
+  Alcotest.(check bool) "status check" true
+    (Activity_monitor.check_status_eventually samples
+       ~expect:(fun s -> Activity_monitor.equal_status s Activity_monitor.Active)
+       ~suffix:2)
+
+let test_doubling_adaptation_trusts_slowing_q () =
+  (* With adapt = doubling, a geometrically decelerating q is eventually
+     trusted forever (finite faults); with the paper's +1 it keeps being
+     suspected. This is the mechanism behind baseline E2. *)
+  let run_with adapt =
+    let rt = Runtime.create ~seed:9L ~n:2 () in
+    let mon = Activity_monitor.install ?adapt rt ~p:0 ~q:1 in
+    mon.Activity_monitor.monitoring := true;
+    mon.Activity_monitor.active_for := true;
+    let policy =
+      Policy.of_patterns
+        [ 0, Policy.Every { period = 2; offset = 0 };
+          1, Policy.Slowing { initial_gap = 20; growth = 1.1; burst = 8 } ]
+    in
+    Runtime.run rt ~policy ~steps:400_000;
+    Runtime.stop rt;
+    !(mon.Activity_monitor.fault_cntr)
+  in
+  let doubling = run_with (Some (fun t -> 2 * t)) in
+  let linear = run_with None in
+  Alcotest.(check bool)
+    (Fmt.str "+1 keeps suspecting (%d) more than doubling (%d)" linear doubling)
+    true
+    (linear > doubling)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial outputs" `Quick test_initial_outputs;
+          Alcotest.test_case "rejects self-monitoring" `Quick
+            test_rejects_self_monitoring;
+          Alcotest.test_case "not monitoring stays ?" `Quick
+            test_not_monitoring_stays_unknown;
+          Alcotest.test_case "active timely q" `Quick
+            test_active_timely_q_seen_active;
+          Alcotest.test_case "willing stop" `Quick
+            test_willing_stop_seen_inactive_without_new_faults;
+          Alcotest.test_case "crash" `Quick test_crash_seen_inactive_bounded_faults;
+          Alcotest.test_case "untimely q faults grow" `Slow
+            test_untimely_q_faults_grow;
+          Alcotest.test_case "monitoring off resets" `Quick
+            test_monitoring_off_resets_to_unknown;
+          Alcotest.test_case "monitor restart" `Quick test_monitor_restart;
+          Alcotest.test_case "sample helpers" `Quick test_sample_helpers;
+          Alcotest.test_case "doubling vs +1 adaptation" `Slow
+            test_doubling_adaptation_trusts_slowing_q;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+open Tbwf_sim
+
+let run_policy policy ~runnable ~steps =
+  let rng = Rng.create 17L in
+  let arr = Array.of_list runnable in
+  List.init steps (fun step -> Policy.next policy ~step ~runnable:arr ~rng)
+
+let test_round_robin_fair () =
+  let choices = run_policy (Policy.round_robin ()) ~runnable:[ 0; 1; 2 ] ~steps:9 in
+  Alcotest.(check (list (option int)))
+    "perfect rotation"
+    [ Some 0; Some 1; Some 2; Some 0; Some 1; Some 2; Some 0; Some 1; Some 2 ]
+    choices
+
+let test_round_robin_skips_missing () =
+  let policy = Policy.round_robin () in
+  let rng = Rng.create 1L in
+  let c1 = Policy.next policy ~step:0 ~runnable:[| 0; 1; 2 |] ~rng in
+  let c2 = Policy.next policy ~step:1 ~runnable:[| 0; 2 |] ~rng in
+  Alcotest.(check (option int)) "starts at 0" (Some 0) c1;
+  Alcotest.(check (option int)) "skips crashed 1" (Some 2) c2
+
+let test_weighted_respects_weights () =
+  let policy = Policy.weighted [| 0, 10.0; 1, 1.0 |] in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:5_000 in
+  let count pid = List.length (List.filter (fun c -> c = Some pid) choices) in
+  Alcotest.(check bool) "heavy pid dominates" true (count 0 > 3 * count 1);
+  Alcotest.(check bool) "light pid still runs" true (count 1 > 0)
+
+let test_every_claims () =
+  let policy =
+    Policy.of_patterns
+      [ 0, Policy.Every { period = 3; offset = 0 }; 1, Policy.Weighted 1.0 ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:30 in
+  List.iteri
+    (fun step choice ->
+      if step mod 3 = 0 then
+        Alcotest.(check (option int)) (Fmt.str "claim at %d" step) (Some 0) choice)
+    choices
+
+let test_every_gap_bounded () =
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Every { period = 4; offset = 0 };
+        1, Policy.Weighted 1.0;
+        2, Policy.Weighted 1.0;
+      ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1; 2 ] ~steps:2_000 in
+  let max_gap = ref 0 and current = ref 0 in
+  List.iter
+    (fun c ->
+      if c = Some 0 then begin
+        if !current > !max_gap then max_gap := !current;
+        current := 0
+      end
+      else incr current)
+    choices;
+  Alcotest.(check bool) "gap bounded by period" true (!max_gap <= 4)
+
+let test_flicker_gaps_grow () =
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Flicker { active = 10; sleep = 20; growth = 2.0 };
+        1, Policy.Weighted 1.0;
+      ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:3_000 in
+  (* Collect gaps between pid-0 steps; the largest must dwarf the first. *)
+  let gaps = ref [] and current = ref 0 and seen = ref false in
+  List.iter
+    (fun c ->
+      if c = Some 0 then begin
+        if !seen && !current > 0 then gaps := !current :: !gaps;
+        seen := true;
+        current := 0
+      end
+      else incr current)
+    choices;
+  let gaps = !gaps in
+  Alcotest.(check bool) "has gaps" true (List.length gaps > 2);
+  let max_gap = List.fold_left max 0 gaps in
+  Alcotest.(check bool) "sleep gaps grew past 100" true (max_gap > 100)
+
+let test_slowing_gaps_grow () =
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Slowing { initial_gap = 5; growth = 1.5; burst = 1 };
+        1, Policy.Weighted 1.0;
+      ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:3_000 in
+  let steps_of_0 =
+    List.filteri (fun _ c -> c = Some 0) choices |> List.length
+  in
+  (* With gaps 5, 7.5, 11.25, ... only ~log-many steps fit in 3000. *)
+  Alcotest.(check bool) "pid 0 took a few steps" true (steps_of_0 >= 3);
+  Alcotest.(check bool) "pid 0 decelerated" true (steps_of_0 < 30)
+
+let test_slowing_burst () =
+  let policy =
+    Policy.of_patterns
+      [ 0, Policy.Slowing { initial_gap = 100; growth = 2.0; burst = 5 } ]
+  in
+  (* Alone, the slowing process gets its whole burst in consecutive steps. *)
+  let choices = run_policy policy ~runnable:[ 0 ] ~steps:20 in
+  let first_five = List.filteri (fun i _ -> i < 5) choices in
+  Alcotest.(check (list (option int)))
+    "first burst served"
+    [ Some 0; Some 0; Some 0; Some 0; Some 0 ]
+    first_five;
+  Alcotest.(check (option int)) "then idle" None (List.nth choices 5)
+
+let test_silent_never_runs () =
+  let policy =
+    Policy.of_patterns [ 0, Policy.Silent; 1, Policy.Weighted 1.0 ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:500 in
+  Alcotest.(check bool) "silent pid never scheduled" true
+    (List.for_all (fun c -> c <> Some 0) choices)
+
+let test_switch_at () =
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Switch_at (100, Policy.Weighted 1.0, Policy.Silent);
+        1, Policy.Weighted 1.0;
+      ]
+  in
+  let choices = run_policy policy ~runnable:[ 0; 1 ] ~steps:400 in
+  let before = List.filteri (fun i c -> i < 100 && c = Some 0) choices in
+  let after = List.filteri (fun i c -> i >= 100 && c = Some 0) choices in
+  Alcotest.(check bool) "ran before switch" true (List.length before > 0);
+  Alcotest.(check (list (option int))) "silent after switch" [] after
+
+let test_solo_after () =
+  let policy = Policy.solo_after ~n:3 ~pid:2 ~step:50 in
+  let choices = run_policy policy ~runnable:[ 0; 1; 2 ] ~steps:200 in
+  let late = List.filteri (fun i _ -> i >= 50) choices in
+  Alcotest.(check bool) "only solo pid after switch" true
+    (List.for_all (fun c -> c = Some 2) late);
+  let early_others =
+    List.filteri (fun i c -> i < 50 && (c = Some 0 || c = Some 1)) choices
+  in
+  Alcotest.(check bool) "others ran before switch" true
+    (List.length early_others > 0)
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "round robin fair" `Quick test_round_robin_fair;
+          Alcotest.test_case "round robin skips missing" `Quick
+            test_round_robin_skips_missing;
+          Alcotest.test_case "weighted respects weights" `Quick
+            test_weighted_respects_weights;
+          Alcotest.test_case "every claims its steps" `Quick test_every_claims;
+          Alcotest.test_case "every gap bounded" `Quick test_every_gap_bounded;
+          Alcotest.test_case "flicker gaps grow" `Quick test_flicker_gaps_grow;
+          Alcotest.test_case "slowing gaps grow" `Quick test_slowing_gaps_grow;
+          Alcotest.test_case "slowing burst" `Quick test_slowing_burst;
+          Alcotest.test_case "silent never runs" `Quick test_silent_never_runs;
+          Alcotest.test_case "switch_at" `Quick test_switch_at;
+          Alcotest.test_case "solo_after" `Quick test_solo_after;
+        ] );
+    ]

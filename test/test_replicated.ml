@@ -1,0 +1,127 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+open Tbwf_objects
+open Tbwf_consensus
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let setup ?(seed = 2L) ~omega ~n ~spec ~slots () =
+  let rt = Runtime.create ~seed ~n () in
+  let handles =
+    match omega with
+    | `Atomic -> (Omega_registers.install rt).Omega_registers.handles
+    | `Abortable ->
+      (Omega_abortable.install rt ~policy:Abort_policy.Always ()).Omega_abortable.handles
+  in
+  let adapter = Consensus.Omega_adapter.attach handles in
+  let log = Replicated.create rt ~name:"rsm" ~omega:adapter ~spec ~slots in
+  rt, log
+
+let test_counter_rsm omega () =
+  let n = 3 in
+  let ops_each = 4 in
+  let rt, log = setup ~omega ~n ~spec:Counter.spec ~slots:32 () in
+  let responses = Array.make n [] in
+  for pid = 0 to n - 1 do
+    Runtime.spawn rt ~pid ~name:"client" (fun () ->
+        for _ = 1 to ops_each do
+          let r = Replicated.submit log Counter.inc in
+          responses.(pid) <- Value.to_int r :: responses.(pid)
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:2_000_000;
+  Runtime.stop rt;
+  (* Every client finished, and the 12 responses are a permutation of
+     0..11 (each increment observed a distinct predecessor count). *)
+  let all = Array.to_list responses |> List.concat |> List.sort compare in
+  Alcotest.(check (list int)) "responses form the full prefix"
+    (List.init (n * ops_each) Fun.id)
+    all;
+  (* All replicas that applied everything agree on the final state. *)
+  for pid = 0 to n - 1 do
+    Alcotest.(check int)
+      (Fmt.str "replica %d applied all slots it saw" pid)
+      (Replicated.applied log ~pid)
+      (Value.to_int (Replicated.local_state log ~pid))
+  done
+
+let test_replicas_prefix_consistent () =
+  (* Under a random schedule, any two replicas' states are comparable:
+     one's applied count is a prefix of the other's op sequence — for a
+     counter this means states equal applied counts. *)
+  let n = 3 in
+  let rt, log = setup ~seed:7L ~omega:`Atomic ~n ~spec:Counter.spec ~slots:24 () in
+  for pid = 0 to n - 1 do
+    Runtime.spawn rt ~pid ~name:"client" (fun () ->
+        for _ = 1 to 3 do
+          ignore (Replicated.submit log Counter.inc)
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.weighted [| 0, 1.0; 1, 2.5; 2, 0.7 |]) ~steps:2_000_000;
+  Runtime.stop rt;
+  for pid = 0 to n - 1 do
+    Alcotest.(check int)
+      (Fmt.str "replica %d state equals slots applied" pid)
+      (Replicated.applied log ~pid)
+      (Value.to_int (Replicated.local_state log ~pid))
+  done
+
+let test_kv_rsm_with_sync () =
+  (* Two writers drive a KV store; a read-only third replica catches up via
+     sync and sees a consistent store. *)
+  let n = 3 in
+  let rt, log = setup ~seed:4L ~omega:`Atomic ~n ~spec:Kv_store.spec ~slots:16 () in
+  let done_writing = Array.make 2 false in
+  for pid = 0 to 1 do
+    Runtime.spawn rt ~pid ~name:"writer" (fun () ->
+        for k = 1 to 3 do
+          ignore
+            (Replicated.submit log
+               (Kv_store.put (Fmt.str "key-%d-%d" pid k) (Value.Int k)))
+        done;
+        done_writing.(pid) <- true)
+  done;
+  Runtime.spawn rt ~pid:2 ~name:"reader" (fun () ->
+      Runtime.await (fun () -> done_writing.(0) && done_writing.(1));
+      Replicated.sync log);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:2_000_000;
+  Runtime.stop rt;
+  Alcotest.(check int) "reader applied all six writes" 6
+    (Replicated.applied log ~pid:2);
+  let reader_state = Replicated.local_state log ~pid:2 in
+  (* The reader's replica agrees with a writer's replica that applied the
+     same number of slots. *)
+  Alcotest.check value "reader agrees with writer 0's final state"
+    (Replicated.local_state log ~pid:0)
+    reader_state
+
+let test_log_exhaustion_raises () =
+  let rt, log = setup ~omega:`Atomic ~n:2 ~spec:Counter.spec ~slots:2 () in
+  let failed = ref false in
+  Runtime.spawn rt ~pid:0 ~name:"client" (fun () ->
+      try
+        for _ = 1 to 3 do
+          ignore (Replicated.submit log Counter.inc)
+        done
+      with Failure _ -> failed := true);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:1_000_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "log exhaustion raises" true !failed
+
+let () =
+  Alcotest.run "replicated"
+    [
+      ( "state machine replication",
+        [
+          Alcotest.test_case "counter RSM (atomic omega)" `Quick
+            (test_counter_rsm `Atomic);
+          Alcotest.test_case "counter RSM (abortable omega)" `Slow
+            (test_counter_rsm `Abortable);
+          Alcotest.test_case "replica prefix consistency" `Quick
+            test_replicas_prefix_consistent;
+          Alcotest.test_case "kv store with read-only sync" `Quick
+            test_kv_rsm_with_sync;
+          Alcotest.test_case "log exhaustion" `Quick test_log_exhaustion_raises;
+        ] );
+    ]

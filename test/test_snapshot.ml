@@ -1,0 +1,111 @@
+open Tbwf_sim
+open Tbwf_objects
+
+let test_solo_update_scan () =
+  let rt = Runtime.create ~n:2 () in
+  let snap = Atomic_snapshot.create rt ~name:"S" ~init:(Value.Int 0) in
+  let view = ref [||] in
+  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
+      Atomic_snapshot.update snap (Value.Int 7);
+      view := Atomic_snapshot.scan snap);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:10_000;
+  Runtime.stop rt;
+  Alcotest.(check int) "view width" 2 (Array.length !view);
+  Alcotest.(check bool) "own segment" true (Value.equal !view.(0) (Value.Int 7));
+  Alcotest.(check bool) "untouched segment" true
+    (Value.equal !view.(1) (Value.Int 0))
+
+(* Component-wise order on views where every writer writes strictly
+   increasing Ints: u <= v iff every component of u is <= v's. Atomicity of
+   the snapshot means all returned views are totally ordered. *)
+let leq u v =
+  let ok = ref true in
+  Array.iteri
+    (fun i ui -> if Value.to_int ui > Value.to_int v.(i) then ok := false)
+    u;
+  !ok
+
+let comparable u v = leq u v || leq v u
+
+let run_contended ~seed ~n ~rounds =
+  let rt = Runtime.create ~seed ~n () in
+  let snap = Atomic_snapshot.create rt ~name:"S" ~init:(Value.Int 0) in
+  let views = ref [] in
+  for pid = 0 to n - 1 do
+    Runtime.spawn rt ~pid ~name:"t" (fun () ->
+        for k = 1 to rounds do
+          Atomic_snapshot.update snap (Value.Int k);
+          let view = Atomic_snapshot.scan snap in
+          views := (pid, view) :: !views
+        done)
+  done;
+  Runtime.run rt
+    ~policy:(Policy.weighted [| 0, 1.0; 1, 1.7; 2, 0.6; 3, 1.2 |])
+    ~steps:400_000;
+  Runtime.stop rt;
+  List.rev !views
+
+let test_views_totally_ordered () =
+  let views = List.map snd (run_contended ~seed:3L ~n:3 ~rounds:8) in
+  Alcotest.(check bool) "collected enough views" true (List.length views >= 20);
+  List.iteri
+    (fun i u ->
+      List.iteri
+        (fun j v ->
+          if i < j && not (comparable u v) then
+            Alcotest.failf "views %d and %d incomparable" i j)
+        views)
+    views
+
+let test_own_scans_monotone () =
+  let views = run_contended ~seed:9L ~n:4 ~rounds:6 in
+  let by_pid pid =
+    List.filter_map (fun (p, v) -> if p = pid then Some v else None) views
+  in
+  for pid = 0 to 3 do
+    let rec check = function
+      | u :: (v :: _ as rest) ->
+        if not (leq u v) then
+          Alcotest.failf "pid %d scans went backwards" pid;
+        check rest
+      | [ _ ] | [] -> ()
+    in
+    check (by_pid pid)
+  done
+
+let test_scan_sees_own_update () =
+  (* A scan after my update must show at least that update in my segment. *)
+  let views = run_contended ~seed:5L ~n:3 ~rounds:8 in
+  let counters = Array.make 3 0 in
+  List.iter
+    (fun (pid, view) ->
+      counters.(pid) <- counters.(pid) + 1;
+      if Value.to_int view.(pid) < counters.(pid) then
+        Alcotest.failf "pid %d scan missed its own update %d" pid counters.(pid))
+    views
+
+let qcheck_total_order_random_schedules =
+  QCheck.Test.make ~name:"views totally ordered on random schedules" ~count:25
+    QCheck.(int_range 1 50_000)
+    (fun seed ->
+      let views =
+        List.map snd (run_contended ~seed:(Int64.of_int seed) ~n:3 ~rounds:4)
+      in
+      List.for_all
+        (fun u -> List.for_all (fun v -> comparable u v) views)
+        views)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "atomic snapshot",
+        [
+          Alcotest.test_case "solo update/scan" `Quick test_solo_update_scan;
+          Alcotest.test_case "views totally ordered" `Quick
+            test_views_totally_ordered;
+          Alcotest.test_case "own scans monotone" `Quick test_own_scans_monotone;
+          Alcotest.test_case "scan sees own update" `Quick
+            test_scan_sees_own_update;
+          QCheck_alcotest.to_alcotest qcheck_total_order_random_schedules;
+        ] );
+    ]

@@ -1,0 +1,394 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+open Tbwf_objects
+open Tbwf_core
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let build_stack ?(seed = 2L) ?(canonical = true) ?(omega = `Atomic)
+    ?(qa_universal = false) ~n ~spec () =
+  let rt = Runtime.create ~seed ~n () in
+  let handles =
+    match omega with
+    | `Atomic -> (Omega_registers.install rt).Omega_registers.handles
+    | `Abortable ->
+      (Omega_abortable.install rt ~policy:Abort_policy.Always ()).Omega_abortable.handles
+  in
+  let qa =
+    if qa_universal then
+      Qa_universal.create rt ~name:"obj" ~spec ~policy:Abort_policy.Always ()
+    else Qa_object.create rt ~name:"obj" ~spec ~policy:Abort_policy.Always ()
+  in
+  let tbwf = Tbwf.make ~qa ~omega_handles:handles ~canonical () in
+  rt, qa, tbwf
+
+let test_finite_workload_completes variant () =
+  let omega, qa_universal =
+    match variant with
+    | `Atomic_direct -> `Atomic, false
+    | `Atomic_universal -> `Atomic, true
+    | `Abortable_direct -> `Abortable, false
+  in
+  let n = 3 in
+  let rt, qa, tbwf =
+    build_stack ~omega ~qa_universal ~n ~spec:Counter.spec ()
+  in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats ~invoke:(Tbwf.invoke tbwf)
+    ~next_op:(Workload.n_times 10 Counter.inc);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:1_500_000;
+  Runtime.stop rt;
+  Alcotest.(check (array int)) "all clients finished" [| 10; 10; 10 |]
+    stats.Workload.completed;
+  Alcotest.check value "counter exact (no lost or duplicated increments)"
+    (Value.Int 30) (qa.Qa_intf.peek_state ())
+
+let test_responses_are_sequential () =
+  (* Every inc's response is a distinct pre-increment value: collect them
+     all and verify we saw exactly 0..total-1. *)
+  let n = 3 in
+  let rt, _, tbwf = build_stack ~n ~spec:Counter.spec () in
+  let seen = ref [] in
+  for pid = 0 to n - 1 do
+    Runtime.spawn rt ~pid ~name:"client" (fun () ->
+        for _ = 1 to 8 do
+          (* Bind before consing: [e1 :: e2] evaluates [e2] first, and the
+             invoke suspends mid-expression, so a direct
+             [seen := ... :: !seen] would clobber other clients' pushes. *)
+          let response = Tbwf.invoke tbwf Counter.inc in
+          seen := Value.to_int response :: !seen
+        done)
+  done;
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:1_500_000;
+  Runtime.stop rt;
+  let sorted = List.sort compare !seen in
+  Alcotest.(check (list int)) "responses are a permutation of 0..23"
+    (List.init 24 Fun.id) sorted
+
+let test_stack_object_through_tbwf () =
+  let n = 2 in
+  let rt, qa, tbwf = build_stack ~n ~spec:Stack_obj.spec () in
+  let popped = ref [] in
+  Runtime.spawn rt ~pid:0 ~name:"pusher" (fun () ->
+      for k = 1 to 5 do
+        let (_ : Value.t) = Tbwf.invoke tbwf (Stack_obj.push (Value.Int k)) in
+        ()
+      done);
+  Runtime.spawn rt ~pid:1 ~name:"popper" (fun () ->
+      let non_empty = ref 0 in
+      while !non_empty < 5 do
+        match Tbwf.invoke tbwf Stack_obj.pop with
+        | v when Value.equal v Stack_obj.empty_response -> ()
+        | v ->
+          incr non_empty;
+          popped := v :: !popped
+      done);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:1_500_000;
+  Runtime.stop rt;
+  Alcotest.(check int) "all five values popped" 5 (List.length !popped);
+  Alcotest.check value "stack empty at end" (Value.List [])
+    (qa.Qa_intf.peek_state ())
+
+let test_untimely_cannot_block_timely () =
+  let n = 4 in
+  let rt, _, tbwf = build_stack ~seed:6L ~n ~spec:Counter.spec () in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:[ 0; 1; 2; 3 ] ~stats
+    ~invoke:(Tbwf.invoke tbwf)
+    ~next_op:(Workload.forever Counter.inc);
+  let policy =
+    Policy.of_patterns
+      [
+        0, Policy.Slowing { initial_gap = 50; growth = 1.2; burst = 32 };
+        1, Policy.Every { period = 6; offset = 0 };
+        2, Policy.Every { period = 6; offset = 2 };
+        3, Policy.Every { period = 6; offset = 4 };
+      ]
+  in
+  Runtime.run rt ~policy ~steps:150_000;
+  let mid = Progress.snapshot stats in
+  Runtime.run rt ~policy ~steps:150_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "every timely process progressed in the second half"
+    true
+    (Progress.tbwf_holds_endless ~before:mid ~after:stats ~timely:[ 1; 2; 3 ])
+
+let test_obstruction_freedom_solo_suffix () =
+  let n = 3 in
+  let rt, _, tbwf = build_stack ~seed:10L ~n ~spec:Counter.spec () in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats ~invoke:(Tbwf.invoke tbwf)
+    ~next_op:(Workload.forever Counter.inc);
+  let policy = Policy.solo_after ~n ~pid:2 ~step:30_000 in
+  Runtime.run rt ~policy ~steps:30_000;
+  let before = stats.Workload.completed.(2) in
+  Runtime.run rt ~policy ~steps:60_000;
+  Runtime.stop rt;
+  Alcotest.(check bool) "solo process completes ops" true
+    (stats.Workload.completed.(2) > before)
+
+let test_non_canonical_monopolizes () =
+  let run canonical =
+    let n = 3 in
+    let rt, _, tbwf = build_stack ~seed:4L ~canonical ~n ~spec:Counter.spec () in
+    let stats = Workload.fresh_stats ~n in
+    Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats
+      ~invoke:(Tbwf.invoke tbwf)
+      ~next_op:(Workload.forever Counter.inc);
+    Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:150_000;
+    Runtime.stop rt;
+    stats.Workload.completed
+  in
+  let fair = run true in
+  let unfair = run false in
+  let min_max arr = Array.fold_left min max_int arr, Array.fold_left max 0 arr in
+  let fair_min, fair_max = min_max fair in
+  let unfair_min, _ = min_max unfair in
+  Alcotest.(check bool) "canonical is fair (min within 3x of max)" true
+    (fair_max <= 3 * max 1 fair_min);
+  Alcotest.(check int) "non-canonical starves someone completely" 0 unfair_min
+
+let test_naive_booster_collapses () =
+  (* One decelerating process; compare last-segment timely throughput. *)
+  let run make_handles =
+    let n = 3 in
+    let rt = Runtime.create ~seed:15L ~n () in
+    let handles = make_handles rt in
+    let qa =
+      Qa_object.create rt ~name:"obj" ~spec:Counter.spec
+        ~policy:Abort_policy.Always ()
+    in
+    let tbwf = Tbwf.make ~qa ~omega_handles:handles () in
+    let stats = Workload.fresh_stats ~n in
+    Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats
+      ~invoke:(Tbwf.invoke tbwf)
+      ~next_op:(Workload.forever Counter.inc);
+    let policy =
+      Policy.of_patterns
+        [
+          0, Policy.Slowing { initial_gap = 60; growth = 1.15; burst = 24 };
+          1, Policy.Every { period = 4; offset = 0 };
+          2, Policy.Every { period = 4; offset = 2 };
+        ]
+    in
+    Runtime.run rt ~policy ~steps:200_000;
+    let mid = stats.Workload.completed.(1) + stats.Workload.completed.(2) in
+    Runtime.run rt ~policy ~steps:200_000;
+    Runtime.stop rt;
+    let total = stats.Workload.completed.(1) + stats.Workload.completed.(2) in
+    total - mid
+  in
+  let tbwf_late =
+    run (fun rt -> (Omega_registers.install rt).Omega_registers.handles)
+  in
+  let naive_late =
+    run (fun rt -> (Baselines.Naive_booster.install rt).Baselines.Naive_booster.handles)
+  in
+  Alcotest.(check bool)
+    (Fmt.str "TBWF keeps going late (%d) while naive collapses (%d)" tbwf_late
+       naive_late)
+    true
+    (tbwf_late > 4 * max 1 naive_late)
+
+let test_retry_baseline_livelocks_under_rotation () =
+  let n = 3 in
+  let rt = Runtime.create ~seed:16L ~n () in
+  let qa =
+    Qa_object.create rt ~name:"obj" ~spec:Counter.spec
+      ~policy:Abort_policy.Always ()
+  in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats
+    ~invoke:(Baselines.retry_invoke qa)
+    ~next_op:(Workload.forever Counter.inc);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:30_000;
+  Runtime.stop rt;
+  Alcotest.(check (array int)) "nobody completes under perfect interleaving"
+    [| 0; 0; 0 |] stats.Workload.completed
+
+let test_retry_baseline_progresses_solo () =
+  let rt = Runtime.create ~n:1 () in
+  let qa =
+    Qa_object.create rt ~name:"obj" ~spec:Counter.spec
+      ~policy:Abort_policy.Always ()
+  in
+  let stats = Workload.fresh_stats ~n:1 in
+  Workload.spawn_clients rt ~pids:[ 0 ] ~stats
+    ~invoke:(Baselines.retry_invoke qa)
+    ~next_op:(Workload.n_times 20 Counter.inc);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:10_000;
+  Runtime.stop rt;
+  Alcotest.(check int) "solo retry completes everything" 20
+    stats.Workload.completed.(0)
+
+let test_progress_reports () =
+  let n = 2 in
+  let rt, _, tbwf = build_stack ~n ~spec:Counter.spec () in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:[ 0; 1 ] ~stats ~invoke:(Tbwf.invoke tbwf)
+    ~next_op:(Workload.n_times 5 Counter.inc);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:600_000;
+  let reports =
+    Progress.reports (Runtime.trace rt) ~n ~stats ~from_step:0 ~bound:(4 * n)
+  in
+  Runtime.stop rt;
+  Alcotest.(check int) "one report per process" n (List.length reports);
+  Alcotest.(check bool) "tbwf holds on finite workload" true
+    (Progress.tbwf_holds_finite reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Fmt.str "pid %d timely" r.Progress.pid) true
+        r.Progress.timely)
+    reports
+
+(* Fuzzing: under arbitrary weighted schedules (and an optional crash), the
+   counter's state must always satisfy completed <= state <= issued — every
+   returned operation took effect exactly once, and at most one operation
+   per process is in flight. *)
+let qcheck_stack_consistency =
+  QCheck.Test.make ~name:"TBWF counter consistent under random schedules"
+    ~count:25
+    QCheck.(pair (int_range 1 100_000) bool)
+    (fun (seed, with_crash) ->
+      let n = 3 in
+      let rt, qa, tbwf =
+        build_stack ~seed:(Int64.of_int seed) ~n ~spec:Counter.spec ()
+      in
+      let stats = Workload.fresh_stats ~n in
+      Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats
+        ~invoke:(Tbwf.invoke tbwf)
+        ~next_op:(Workload.forever Counter.inc);
+      if with_crash then Runtime.crash_at rt ~pid:(seed mod n) ~step:20_000;
+      let policy =
+        Policy.weighted
+          [| 0, 1.0; 1, 0.3 +. float_of_int (seed mod 5); 2, 1.5 |]
+      in
+      Runtime.run rt ~policy ~steps:60_000;
+      Runtime.stop rt;
+      let state = Value.to_int (qa.Qa_intf.peek_state ()) in
+      let completed = Array.fold_left ( + ) 0 stats.Workload.completed in
+      let issued = Array.fold_left ( + ) 0 stats.Workload.issued in
+      completed <= state && state <= issued)
+
+(* End-to-end linearizability: record each client-level TBWF invocation as
+   an operation with its [start step, return step] window and check the
+   whole history against the sequential counter spec with the Wing–Gong
+   checker. Figure 7 linearizes every operation at its (unique) effective
+   QA application, which lies inside the client window, so the history must
+   always be linearizable. *)
+let qcheck_tbwf_linearizable =
+  QCheck.Test.make ~name:"TBWF client histories linearizable" ~count:15
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let n = 3 in
+      let rt, _, tbwf =
+        build_stack ~seed:(Int64.of_int seed) ~n ~spec:Counter.spec ()
+      in
+      let history = ref [] in
+      for pid = 0 to n - 1 do
+        Runtime.spawn rt ~pid ~name:"client" (fun () ->
+            for _ = 1 to 5 do
+              let invoke = Runtime.now rt in
+              let result = Tbwf.invoke tbwf Counter.inc in
+              let respond = Runtime.now rt in
+              history :=
+                {
+                  Tbwf_check.History.pid;
+                  op = Value.Str "inc";
+                  result;
+                  invoke;
+                  respond;
+                }
+                :: !history
+            done)
+      done;
+      Runtime.run rt
+        ~policy:(Policy.weighted [| 0, 1.0; 1, 1.8; 2, 0.6 |])
+        ~steps:2_000_000;
+      Runtime.stop rt;
+      Tbwf_check.Linearizability.check Tbwf_check.Linearizability.counter_spec
+        !history)
+
+let qcheck_stack_deterministic =
+  QCheck.Test.make ~name:"same seed, same outcome" ~count:10
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let run () =
+        let n = 3 in
+        let rt, qa, tbwf =
+          build_stack ~seed:(Int64.of_int seed) ~n ~spec:Counter.spec ()
+        in
+        let stats = Workload.fresh_stats ~n in
+        Workload.spawn_clients rt ~pids:[ 0; 1; 2 ] ~stats
+          ~invoke:(Tbwf.invoke tbwf)
+          ~next_op:(Workload.forever Counter.inc);
+        Runtime.run rt ~policy:(Policy.weighted [| 0, 1.3; 1, 0.8; 2, 1.0 |])
+          ~steps:30_000;
+        Runtime.stop rt;
+        Array.copy stats.Workload.completed, qa.Qa_intf.peek_state ()
+      in
+      let c1, s1 = run () in
+      let c2, s2 = run () in
+      c1 = c2 && Value.equal s1 s2)
+
+let test_scale_n12 () =
+  (* Larger configuration sanity: 12 processes (132 monitors, ~25 tasks per
+     process), everyone finishes a finite workload and the counter is
+     exact. *)
+  let n = 12 in
+  let rt, qa, tbwf = build_stack ~seed:20L ~n ~spec:Counter.spec () in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats
+    ~invoke:(Tbwf.invoke tbwf)
+    ~next_op:(Workload.n_times 3 Counter.inc);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:8_000_000;
+  Runtime.stop rt;
+  Alcotest.(check (array int)) "all finished" (Array.make n 3)
+    stats.Workload.completed;
+  Alcotest.check value "exact count" (Value.Int (3 * n)) (qa.Qa_intf.peek_state ())
+
+let () =
+  Alcotest.run "tbwf"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "finite workload (atomic + direct QA)" `Quick
+            (test_finite_workload_completes `Atomic_direct);
+          Alcotest.test_case "finite workload (atomic + universal QA)" `Quick
+            (test_finite_workload_completes `Atomic_universal);
+          Alcotest.test_case "finite workload (abortable omega)" `Slow
+            (test_finite_workload_completes `Abortable_direct);
+          Alcotest.test_case "responses sequential" `Quick
+            test_responses_are_sequential;
+          Alcotest.test_case "stack through TBWF" `Quick
+            test_stack_object_through_tbwf;
+          Alcotest.test_case "progress reports" `Quick test_progress_reports;
+          Alcotest.test_case "scale: n=12" `Slow test_scale_n12;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "untimely cannot block timely" `Slow
+            test_untimely_cannot_block_timely;
+          Alcotest.test_case "obstruction-freedom solo suffix" `Quick
+            test_obstruction_freedom_solo_suffix;
+          Alcotest.test_case "non-canonical monopolizes" `Slow
+            test_non_canonical_monopolizes;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "naive booster collapses" `Slow
+            test_naive_booster_collapses;
+          Alcotest.test_case "retry livelocks under rotation" `Quick
+            test_retry_baseline_livelocks_under_rotation;
+          Alcotest.test_case "retry progresses solo" `Quick
+            test_retry_baseline_progresses_solo;
+        ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_stack_consistency;
+            qcheck_tbwf_linearizable;
+            qcheck_stack_deterministic;
+          ] );
+    ]

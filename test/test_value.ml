@@ -1,0 +1,111 @@
+open Tbwf_sim
+open Tbwf_registers
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_equal_basic () =
+  Alcotest.(check bool) "ints" true (Value.equal (Int 3) (Int 3));
+  Alcotest.(check bool) "ints differ" false (Value.equal (Int 3) (Int 4));
+  Alcotest.(check bool) "abort=abort" true (Value.equal Abort Abort);
+  Alcotest.(check bool) "abort<>fail" false (Value.equal Abort Fail);
+  Alcotest.(check bool) "nested pairs" true
+    (Value.equal (Pair (Int 1, Str "x")) (Pair (Int 1, Str "x")));
+  Alcotest.(check bool) "lists" true
+    (Value.equal (List [ Int 1; Bool true ]) (List [ Int 1; Bool true ]));
+  Alcotest.(check bool) "list lengths differ" false
+    (Value.equal (List [ Int 1 ]) (List [ Int 1; Int 2 ]))
+
+let test_read_write_helpers () =
+  Alcotest.(check bool) "read_op is read" true (Value.is_read Value.read_op);
+  Alcotest.(check bool) "read_op not write" false (Value.is_write Value.read_op);
+  Alcotest.(check bool) "write_op is write" true
+    (Value.is_write (Value.write_op (Int 1)));
+  Alcotest.check value "write payload shape"
+    (Pair (Str "write", Int 5))
+    (Value.write_op (Int 5))
+
+let test_decoders () =
+  Alcotest.(check int) "to_int" 9 (Value.to_int (Int 9));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Bool true));
+  let a, b = Value.to_pair (Pair (Int 1, Int 2)) in
+  Alcotest.check value "pair fst" (Int 1) a;
+  Alcotest.check value "pair snd" (Int 2) b;
+  Alcotest.(check int) "to_list length" 2
+    (List.length (Value.to_list (List [ Unit; Unit ])));
+  Alcotest.(check bool) "to_int rejects bool" true
+    (try
+       ignore (Value.to_int (Bool true));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pp_stable () =
+  Alcotest.(check string) "int" "3" (Value.to_string (Int 3));
+  Alcotest.(check string) "abort" "⊥" (Value.to_string Abort);
+  Alcotest.(check string) "fail" "F" (Value.to_string Fail);
+  Alcotest.(check string) "pair" "(1, true)"
+    (Value.to_string (Pair (Int 1, Bool true)))
+
+(* Generator for arbitrary values of bounded depth. *)
+let value_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            return Value.Unit;
+            map (fun b -> Value.Bool b) bool;
+            map (fun i -> Value.Int i) small_int;
+            map (fun s -> Value.Str s) (string_size (int_range 0 5));
+            return Value.Abort;
+            return Value.Fail;
+          ]
+      else
+        oneof
+          [
+            map (fun i -> Value.Int i) small_int;
+            map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2));
+            map (fun vs -> Value.List vs) (list_size (int_range 0 4) (self (n / 2)));
+          ])
+
+let arbitrary_value = QCheck.make ~print:Value.to_string value_gen
+
+let qcheck_equal_reflexive =
+  QCheck.Test.make ~name:"equal is reflexive" ~count:500 arbitrary_value
+    (fun v -> Value.equal v v)
+
+let qcheck_codec_roundtrips =
+  QCheck.Test.make ~name:"codec roundtrips" ~count:500
+    QCheck.(triple small_int bool (small_list small_int))
+    (fun (i, b, xs) ->
+      Codec.int.Codec.dec (Codec.int.Codec.enc i) = i
+      && Codec.bool.Codec.dec (Codec.bool.Codec.enc b) = b
+      && (Codec.list Codec.int).Codec.dec ((Codec.list Codec.int).Codec.enc xs) = xs
+      &&
+      let c = Codec.pair Codec.int Codec.bool in
+      c.Codec.dec (c.Codec.enc (i, b)) = (i, b)
+      &&
+      let t = Codec.triple Codec.int Codec.bool Codec.int in
+      t.Codec.dec (t.Codec.enc (i, b, i)) = (i, b, i))
+
+let qcheck_value_codec_identity =
+  QCheck.Test.make ~name:"value codec is identity" ~count:300 arbitrary_value
+    (fun v -> Value.equal (Codec.value.Codec.dec (Codec.value.Codec.enc v)) v)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "equal basics" `Quick test_equal_basic;
+          Alcotest.test_case "read/write helpers" `Quick test_read_write_helpers;
+          Alcotest.test_case "decoders" `Quick test_decoders;
+          Alcotest.test_case "pp stable" `Quick test_pp_stable;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_equal_reflexive;
+            qcheck_codec_roundtrips;
+            qcheck_value_codec_identity;
+          ] );
+    ]
