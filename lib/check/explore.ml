@@ -1,47 +1,239 @@
 open Tbwf_sim
 
-type outcome = { schedules : int; violation : int list option }
+type outcome = {
+  schedules : int;
+  violation : int list option;
+  exhausted : bool;
+}
+
+type fuzz_outcome = {
+  fuzz_runs : int;
+  counterexample : int list option;
+  shrunk_from : int option;
+}
+
+(* --- replay ------------------------------------------------------------- *)
+
+let replay ~max_steps ~scenario ~make_runtime pids =
+  let rt = make_runtime () in
+  let invariant = scenario rt in
+  let ok = ref (invariant ()) in
+  let steps = ref 0 in
+  List.iter
+    (fun pid ->
+      if !ok && !steps < max_steps then begin
+        let runnable = Runtime.runnable_pids rt in
+        if pid >= 0 && Array.exists (fun p -> p = pid) runnable then begin
+          Runtime.step rt ~pid;
+          incr steps;
+          if not (invariant ()) then ok := false
+        end
+      end)
+    pids;
+  Runtime.stop rt;
+  !ok
+
+(* --- incremental DFS with sleep-set partial-order reduction -------------- *)
+
+module IntMap = Map.Make (Int)
+
+(* One level of the DFS stack: the choice point reached after executing the
+   [f_cur] branches of all shallower frames. [f_sleep] is fixed when the
+   frame is created (inherited from the parent per the sleep-set rule);
+   [f_done] accumulates fully-explored sibling branches together with their
+   observed access footprints. *)
+type frame = {
+  f_runnable : int array;
+  f_sleep : Independence.footprint IntMap.t;
+  mutable f_done : (int * Independence.footprint) list;
+  mutable f_cur : int;
+  mutable f_cur_fp : Independence.footprint;
+}
+
+let exhaustive ?(max_schedules = 200_000) ?(por = true) ~max_steps ~scenario
+    ~make_runtime () =
+  if max_steps < 1 then invalid_arg "Explore.exhaustive: max_steps < 1";
+  let schedules = ref 0 in
+  let violation = ref None in
+  let exhausted = ref true in
+  let stack : frame option array = Array.make max_steps None in
+  let stack_len = ref 0 in
+  let frame d =
+    match stack.(d) with Some f -> f | None -> assert false
+  in
+  (* Sleep set for the state reached by executing [f.f_cur] from [f]'s
+     state: processes whose pending step is independent of every step taken
+     since they were put to sleep stay asleep — exploring them here would
+     only permute commuting steps of an already-explored schedule. *)
+  let child_sleep d =
+    if (not por) || d = 0 then IntMap.empty
+    else begin
+      let p = frame (d - 1) in
+      let merged =
+        List.fold_left
+          (fun m (pid, fp) -> IntMap.add pid fp m)
+          p.f_sleep p.f_done
+      in
+      IntMap.filter
+        (fun _ fp -> Independence.commute fp p.f_cur_fp)
+        merged
+    end
+  in
+  (* Execute one complete schedule: replay the branch recorded in each
+     stack frame, then extend depth-first (always picking the smallest
+     non-sleeping runnable pid) until quiescence, the step bound, or a
+     fully-slept state. The invariant is evaluated after every step, so a
+     single execution checks every prefix of the schedule — this is what
+     makes the DFS incremental compared to running each prefix as its own
+     schedule. *)
+  let execute () =
+    incr schedules;
+    let rt = make_runtime () in
+    let invariant = scenario rt in
+    let trace = Runtime.trace rt in
+    let fail () = violation := Some (Trace.schedule trace) in
+    let stop_run = ref false in
+    if not (invariant ()) then begin
+      fail ();
+      stop_run := true
+    end;
+    let depth = ref 0 in
+    (* replay the committed prefix *)
+    while (not !stop_run) && !depth < !stack_len do
+      let f = frame !depth in
+      let mark = Trace.n_ops trace in
+      Runtime.step rt ~pid:f.f_cur;
+      f.f_cur_fp <- Independence.of_events (Trace.ops_from trace mark);
+      incr depth;
+      if not (invariant ()) then begin
+        fail ();
+        stop_run := true
+      end
+    done;
+    (* extend to a maximal schedule *)
+    while (not !stop_run) && !depth < max_steps do
+      let runnable = Runtime.runnable_pids rt in
+      if Array.length runnable = 0 then stop_run := true
+      else begin
+        let sleep = child_sleep !depth in
+        match
+          Array.to_list runnable
+          |> List.find_opt (fun pid -> not (IntMap.mem pid sleep))
+        with
+        | None -> stop_run := true (* every enabled step is asleep *)
+        | Some pid ->
+          let f =
+            {
+              f_runnable = runnable;
+              f_sleep = sleep;
+              f_done = [];
+              f_cur = pid;
+              f_cur_fp = Independence.empty;
+            }
+          in
+          stack.(!depth) <- Some f;
+          stack_len := !depth + 1;
+          let mark = Trace.n_ops trace in
+          Runtime.step rt ~pid;
+          f.f_cur_fp <- Independence.of_events (Trace.ops_from trace mark);
+          incr depth;
+          if not (invariant ()) then begin
+            fail ();
+            stop_run := true
+          end
+      end
+    done;
+    Runtime.stop rt
+  in
+  (* Move the deepest frame to its next unexplored branch, popping frames
+     whose branches are all explored or asleep. *)
+  let rec backtrack () =
+    if !stack_len = 0 then false
+    else begin
+      let f = frame (!stack_len - 1) in
+      f.f_done <- (f.f_cur, f.f_cur_fp) :: f.f_done;
+      let next =
+        Array.to_list f.f_runnable
+        |> List.find_opt (fun pid ->
+               (not (List.mem_assoc pid f.f_done))
+               && not (IntMap.mem pid f.f_sleep))
+      in
+      match next with
+      | Some pid ->
+        f.f_cur <- pid;
+        true
+      | None ->
+        stack.(!stack_len - 1) <- None;
+        stack_len := !stack_len - 1;
+        backtrack ()
+    end
+  in
+  let continue_search = ref true in
+  while !continue_search && !violation = None do
+    if !schedules >= max_schedules then begin
+      exhausted := false;
+      continue_search := false
+    end
+    else begin
+      execute ();
+      if !violation = None then continue_search := backtrack ()
+    end
+  done;
+  { schedules = !schedules; violation = !violation; exhausted = !exhausted }
+
+(* --- the pre-reduction explorer, kept as the baseline -------------------- *)
 
 (* Execute one script on a fresh runtime: set up the scenario, run under
    the script policy, evaluate the invariant, and report the branching
-   factors observed (number of runnable choices at each scripted step). *)
+   factors observed plus the pid schedule actually followed. *)
 let run_script ~max_steps ~scenario ~make_runtime script =
   let rt = make_runtime () in
   let invariant = scenario rt in
   let policy = Policy.of_script script in
   Runtime.run rt ~policy ~steps:max_steps;
   let branching = Policy.branching_of_script policy in
+  let sched =
+    (* the scripted steps come first; everything after is idle padding *)
+    List.filteri
+      (fun i _ -> i < List.length branching)
+      (Trace.schedule (Runtime.trace rt))
+  in
   let holds = invariant () in
   Runtime.stop rt;
-  holds, branching
+  holds, branching, sched
 
-(* Depth-first search over choice scripts. Every prefix is itself executed
-   and checked (so the invariant must be a safety predicate, true in every
-   reachable state, not only at quiescence). A prefix is extended when the
-   run consumed all its choices and still had runnable tasks — detected by
-   probing with one extra choice and seeing whether it gets used. *)
-let exhaustive ?(max_schedules = 200_000) ~max_steps ~scenario ~make_runtime () =
+exception Budget
+
+(* Depth-first search over choice scripts, exactly as this module worked
+   before partial-order reduction: every prefix is executed from scratch as
+   its own schedule, and extension is detected by probing with one extra
+   choice. Kept as the comparison baseline for the reduction (E15) and for
+   invariants that a reduced search is not sound for (see the mli). *)
+let exhaustive_naive ?(max_schedules = 200_000) ~max_steps ~scenario
+    ~make_runtime () =
   let schedules = ref 0 in
   let violation = ref None in
+  let exhausted = ref true in
+  let run script =
+    if !schedules >= max_schedules then begin
+      exhausted := false;
+      raise Budget
+    end;
+    incr schedules;
+    run_script ~max_steps ~scenario ~make_runtime script
+  in
   let rec explore prefix =
     if !violation = None then begin
-      incr schedules;
-      if !schedules > max_schedules then
-        failwith "Explore.exhaustive: schedule budget exceeded";
       let script = List.rev prefix in
-      let holds, branching =
-        run_script ~max_steps ~scenario ~make_runtime script
-      in
-      if not holds then violation := Some script
+      let holds, branching, sched = run script in
+      if not holds then violation := Some sched
       else if
         List.length branching = List.length script
         && List.length script < max_steps
       then begin
-        let holds', branching' =
-          run_script ~max_steps ~scenario ~make_runtime (script @ [ 0 ])
-        in
+        let holds', branching', sched' = run (script @ [ 0 ]) in
         if List.length branching' > List.length script then
-          if not holds' then violation := Some (script @ [ 0 ])
+          if not holds' then violation := Some sched'
           else begin
             let k = List.nth branching' (List.length script) in
             for c = 0 to k - 1 do
@@ -51,5 +243,49 @@ let exhaustive ?(max_schedules = 200_000) ~max_steps ~scenario ~make_runtime () 
       end
     end
   in
-  explore [];
-  { schedules = !schedules; violation = !violation }
+  (try explore [] with Budget -> ());
+  { schedules = !schedules; violation = !violation; exhausted = !exhausted }
+
+(* --- random-schedule fuzzing with shrinking ------------------------------ *)
+
+let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~max_steps ~scenario
+    ~make_runtime () =
+  let rng = Rng.create seed in
+  let witness = ref None in
+  let executed = ref 0 in
+  while !witness = None && !executed < runs do
+    incr executed;
+    let rt = make_runtime () in
+    let invariant = scenario rt in
+    let sched = ref [] in
+    let steps = ref 0 in
+    let stop_run = ref (not (invariant ())) in
+    if !stop_run then witness := Some [];
+    while (not !stop_run) && !steps < max_steps do
+      let runnable = Runtime.runnable_pids rt in
+      if Array.length runnable = 0 then stop_run := true
+      else begin
+        let pid = runnable.(Rng.int rng (Array.length runnable)) in
+        Runtime.step rt ~pid;
+        sched := pid :: !sched;
+        incr steps;
+        if not (invariant ()) then begin
+          witness := Some (List.rev !sched);
+          stop_run := true
+        end
+      end
+    done;
+    Runtime.stop rt
+  done;
+  match !witness with
+  | None -> { fuzz_runs = !executed; counterexample = None; shrunk_from = None }
+  | Some pids ->
+    let fails candidate =
+      not (replay ~max_steps ~scenario ~make_runtime candidate)
+    in
+    let minimal = if pids = [] then [] else Shrink.ddmin ~fails pids in
+    {
+      fuzz_runs = !executed;
+      counterexample = Some minimal;
+      shrunk_from = Some (List.length pids);
+    }

@@ -1,37 +1,122 @@
-(** Exhaustive schedule exploration (bounded model checking).
+(** Schedule exploration: exhaustive search with partial-order reduction,
+    random fuzzing with shrinking, and deterministic replay.
 
-    For small scenarios — a few processes, a handful of operations — the
-    simulator's determinism makes it cheap to enumerate {e every}
-    interleaving: a schedule is a script of choice indices
-    ({!Tbwf_sim.Policy.of_script}), and each script is explored by
-    re-executing the scenario from scratch (runs are pure functions of the
-    script). Depth-first search over scripts visits every schedule up to
-    [max_steps], so an invariant checked here holds for {e all} schedules
-    of the scenario, not just sampled ones.
+    The paper's definitions and theorems quantify over {e all} schedules,
+    so the simulator's determinism is leveraged three ways:
 
-    The test suite uses this to verify, over every interleaving:
-    solo-operations-never-abort, register linearizability, and
-    query-abortable fate recovery. Complexity is the product of branching
-    factors (≈ runnable-process count per step): keep scenarios to 2–3
-    processes and ≲ 20 steps. *)
+    - {!exhaustive} enumerates every interleaving of a small scenario up to
+      [max_steps], pruned by sleep-set partial-order reduction: two steps
+      of different processes that touch disjoint registers — or only read
+      the registers they share — commute, so only one of their orders is
+      explored (see {!Independence}). The invariant is evaluated after
+      {e every} step of every executed schedule, so it must be a safety
+      predicate (true in every reachable state), and a violation witness is
+      a prefix of some schedule.
+    - {!fuzz} samples random schedules from a seeded generator — the bug
+      hunter for scenarios too large to exhaust — and shrinks any failing
+      schedule to a 1-minimal counterexample by delta debugging
+      ({!Shrink.ddmin}).
+    - {!replay} re-executes a pid schedule deterministically, which is how
+      witnesses are validated, shrunk, and committed as regression tests
+      (serialize them with {!Tbwf_sim.Schedule}).
+
+    Witness schedules are pid-per-step lists as recorded by
+    {!Tbwf_sim.Trace.schedule}.
+
+    {2 Soundness of the reduction}
+
+    Sleep sets preserve every schedule up to commuting adjacent independent
+    steps, and the independence relation is conservative (observed register
+    footprints; invocations count as writes), so any invariant that is a
+    function of shared-object state or of per-object operation histories —
+    linearizability, value-domain safety, occupancy counters implemented as
+    shared objects — is checked as exhaustively as without reduction. An
+    invariant that observes {e purely local} state which shared-object
+    footprints do not protect (e.g. a plain [ref] mutated by two processes)
+    can in principle be missed between two commuting steps: route such
+    observations through a shared object, or use [~por:false] /
+    {!exhaustive_naive}. *)
 
 type outcome = {
-  schedules : int;  (** interleavings explored *)
+  schedules : int;  (** complete schedule executions *)
   violation : int list option;
-      (** a witness script that falsified the invariant, if any *)
+      (** a witness pid schedule that falsified the invariant, if any;
+          replayable with {!replay} and serializable with
+          {!Tbwf_sim.Schedule} *)
+  exhausted : bool;
+      (** [true] iff the search space was fully covered; [false] means the
+          [max_schedules] budget was hit first, so the absence of a
+          violation is inconclusive *)
 }
 
 val exhaustive :
+  ?max_schedules:int ->
+  ?por:bool ->
+  max_steps:int ->
+  scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
+  unit ->
+  outcome
+(** [exhaustive ~max_steps ~scenario ~make_runtime ()] runs [scenario rt]
+    to set up tasks on a fresh runtime per schedule; the returned thunk is
+    the invariant, evaluated after every step. Depth-first search over the
+    tree of per-step pid choices; each executed schedule is maximal (all
+    tasks finished, or [max_steps] reached), and — unlike the
+    pre-reduction explorer — covers all of its own prefixes in a single
+    execution instead of re-running each prefix from scratch.
+
+    [por] (default [true]) enables sleep-set partial-order reduction.
+    Exploration stops at the first violation (with the witness), or once
+    [max_schedules] (default 200 000) schedules have been executed, in
+    which case [exhausted] is [false] and [violation] reflects only the
+    covered part — exceeding the budget is reported, never raised. *)
+
+val exhaustive_naive :
   ?max_schedules:int ->
   max_steps:int ->
   scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
   make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
   unit ->
   outcome
-(** [exhaustive ~max_steps ~scenario ~make_runtime ()] runs
-    [scenario rt] to set up tasks on a fresh runtime per schedule; the
-    returned thunk is the invariant, evaluated after the run. Exploration
-    stops early (with the witness) on the first violation, or after
-    [max_schedules] (default 200 000 — a safety valve, exceeding it raises
-    [Failure] so a too-large scenario cannot silently pass). Schedules end
-    when all tasks finish or [max_steps] choices have been made. *)
+(** The pre-reduction algorithm, kept as the baseline the reduction is
+    measured against (experiment E15) and as the fallback for invariants
+    outside the reduced search's soundness class: every prefix is executed
+    from scratch as its own schedule, so [schedules] counts one execution
+    per prefix plus one probe per extension. Same outcome contract as
+    {!exhaustive}, including the budget behaviour. *)
+
+type fuzz_outcome = {
+  fuzz_runs : int;  (** schedules executed, counting the failing one *)
+  counterexample : int list option;
+      (** minimal failing pid schedule, if a violation was found *)
+  shrunk_from : int option;
+      (** length of the original failing schedule before shrinking *)
+}
+
+val fuzz :
+  ?seed:int64 ->
+  ?runs:int ->
+  max_steps:int ->
+  scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
+  unit ->
+  fuzz_outcome
+(** Execute up to [runs] (default 1000) random schedules of at most
+    [max_steps] steps each, choosing uniformly among runnable processes
+    with a generator seeded by [seed] (fuzzing is itself deterministic:
+    same seed, same schedules). On the first invariant violation the
+    failing schedule is shrunk with {!Shrink.ddmin} to a schedule on which
+    the violation still reproduces and no single step can be removed. *)
+
+val replay :
+  max_steps:int ->
+  scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
+  int list ->
+  bool
+(** [replay ~max_steps ~scenario ~make_runtime pids] re-executes a pid
+    schedule on a fresh runtime, checking the invariant after every step;
+    [true] iff it held throughout. Entries whose pid is not currently
+    runnable (finished, crashed — or made meaningless by shrinking) are
+    skipped, which keeps every sublist of a schedule executable: exactly
+    what {!Shrink.ddmin} needs. *)

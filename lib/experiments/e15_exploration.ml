@@ -1,0 +1,122 @@
+open Tbwf_check
+
+type row = {
+  scenario : string;
+  naive_runs : int;  (* pre-reduction explorer: one execution per prefix *)
+  dfs_runs : int;  (* incremental DFS, reduction off *)
+  por_runs : int;  (* incremental DFS with sleep sets *)
+  reduction : float;  (* naive_runs / por_runs *)
+  expect_violation : bool;
+  agree : bool;  (* all three explorers agree on violation presence *)
+}
+
+type fuzz_row = {
+  f_scenario : string;
+  f_runs : int;
+  found : bool;
+  original_len : int;
+  minimal_len : int;
+  minimal_replays : bool;  (* the shrunk schedule still violates on replay *)
+}
+
+type result = { rows : row list; fuzz_rows : fuzz_row list }
+
+let explore_row (s : Explore_scenarios.t) =
+  let naive = Explore_scenarios.exhaustive_naive s in
+  let dfs = Explore_scenarios.exhaustive ~por:false s in
+  let por = Explore_scenarios.exhaustive s in
+  let found o = o.Explore.violation <> None in
+  {
+    scenario = s.Explore_scenarios.name;
+    naive_runs = naive.Explore.schedules;
+    dfs_runs = dfs.Explore.schedules;
+    por_runs = por.Explore.schedules;
+    reduction =
+      float_of_int naive.Explore.schedules
+      /. float_of_int (max 1 por.Explore.schedules);
+    expect_violation = s.Explore_scenarios.expect_violation;
+    agree =
+      found naive = s.Explore_scenarios.expect_violation
+      && found dfs = s.Explore_scenarios.expect_violation
+      && found por = s.Explore_scenarios.expect_violation;
+  }
+
+let fuzz_row ?(runs = 2_000) (s : Explore_scenarios.t) =
+  let f = Explore_scenarios.fuzz ~seed:0xF00DL ~runs s in
+  match f.Explore.counterexample with
+  | None ->
+    {
+      f_scenario = s.Explore_scenarios.name;
+      f_runs = f.Explore.fuzz_runs;
+      found = false;
+      original_len = 0;
+      minimal_len = 0;
+      minimal_replays = false;
+    }
+  | Some minimal ->
+    {
+      f_scenario = s.Explore_scenarios.name;
+      f_runs = f.Explore.fuzz_runs;
+      found = true;
+      original_len = Option.value f.Explore.shrunk_from ~default:0;
+      minimal_len = List.length minimal;
+      minimal_replays = not (Explore_scenarios.replay s minimal);
+    }
+
+let compute ?(quick = false) () =
+  ignore quick;
+  (* exploration is already "quick": the scenarios are sized for it *)
+  let scenarios = Explore_scenarios.all in
+  let buggy =
+    List.filter (fun s -> s.Explore_scenarios.expect_violation) scenarios
+  in
+  {
+    rows = List.map explore_row scenarios;
+    fuzz_rows = List.map fuzz_row buggy;
+  }
+
+let coverage_reduction r =
+  let total f = List.fold_left (fun acc row -> acc + f row) 0 r.rows in
+  float_of_int (total (fun row -> row.naive_runs))
+  /. float_of_int (max 1 (total (fun row -> row.por_runs)))
+
+let report fmt r =
+  let table =
+    Table.create ~title:"E15: schedule-exploration coverage"
+      ~columns:
+        [ "scenario"; "naive runs"; "dfs runs"; "POR runs"; "reduction"; "bug?"; "agree" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          row.scenario;
+          Table.cell_int row.naive_runs;
+          Table.cell_int row.dfs_runs;
+          Table.cell_int row.por_runs;
+          Fmt.str "%.1fx" row.reduction;
+          (if row.expect_violation then "yes" else "no");
+          Table.cell_bool row.agree;
+        ])
+    r.rows;
+  Table.print fmt table;
+  Fmt.pf fmt "overall naive/POR executed-schedule reduction: %.1fx@."
+    (coverage_reduction r);
+  let fuzz_table =
+    Table.create ~title:"E15: fuzz + shrink on the buggy scenarios"
+      ~columns:
+        [ "scenario"; "runs to bug"; "found"; "witness len"; "shrunk len"; "replays" ]
+  in
+  List.iter
+    (fun f ->
+      Table.add_row fuzz_table
+        [
+          f.f_scenario;
+          Table.cell_int f.f_runs;
+          Table.cell_bool f.found;
+          Table.cell_int f.original_len;
+          Table.cell_int f.minimal_len;
+          Table.cell_bool f.minimal_replays;
+        ])
+    r.fuzz_rows;
+  Table.print fmt fuzz_table

@@ -1,0 +1,37 @@
+(** E15 — schedule-exploration coverage.
+
+    Not a claim of the paper but of the reproduction's own tooling: on the
+    scenario library of {!Explore_scenarios}, the incremental DFS with
+    sleep-set partial-order reduction must (a) agree with the
+    pre-reduction explorer on which scenarios contain violations, and
+    (b) execute an order of magnitude fewer schedules overall; and the
+    random fuzzer must find the planted bugs and shrink their witnesses to
+    short schedules that reproduce deterministically on replay. *)
+
+type row = {
+  scenario : string;
+  naive_runs : int;
+  dfs_runs : int;
+  por_runs : int;
+  reduction : float;
+  expect_violation : bool;
+  agree : bool;
+}
+
+type fuzz_row = {
+  f_scenario : string;
+  f_runs : int;
+  found : bool;
+  original_len : int;
+  minimal_len : int;
+  minimal_replays : bool;
+}
+
+type result = { rows : row list; fuzz_rows : fuzz_row list }
+
+val compute : ?quick:bool -> unit -> result
+
+val coverage_reduction : result -> float
+(** Total naive executed schedules over total POR executed schedules. *)
+
+val report : Format.formatter -> result -> unit

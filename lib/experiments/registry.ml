@@ -78,6 +78,11 @@ let all =
       title = "eventual timeliness (GST)";
       run = wrap E14_gst.compute E14_gst.report;
     };
+    {
+      id = "E15";
+      title = "schedule-exploration coverage";
+      run = wrap E15_exploration.compute E15_exploration.report;
+    };
   ]
 
 let run_all ?quick fmt =

@@ -232,3 +232,15 @@ let of_script script =
   { name = "script"; next; script_branching = branching }
 
 let branching_of_script t = List.rev !(t.script_branching)
+
+let replay pids =
+  let remaining = ref pids in
+  let next ~step:_ ~runnable ~rng:_ =
+    match !remaining with
+    | [] -> None
+    | pid :: rest ->
+      remaining := rest;
+      if pid >= 0 && mem pid runnable then Some pid
+      else None (* recorded idle step, or a diverging replay: stay aligned *)
+  in
+  { name = "replay"; next; script_branching = ref [] }

@@ -269,17 +269,38 @@ let apply_due_crashes t =
       if not proc.is_crashed then crash_proc t proc)
     due
 
+let runnable_pids t =
+  apply_due_crashes t;
+  Array.to_list t.procs
+  |> List.filter proc_runnable
+  |> List.map (fun p -> p.pid)
+  |> Array.of_list
+
+let step t ~pid =
+  apply_due_crashes t;
+  if pid < 0 || pid >= t.num then invalid_arg "Runtime.step: bad pid";
+  let proc = t.procs.(pid) in
+  if not (proc_runnable proc) then
+    invalid_arg (Fmt.str "Runtime.step: pid %d is not runnable" pid);
+  (match pick_task proc with
+  | None -> assert false (* proc_runnable guarantees a runnable task *)
+  | Some task ->
+    Trace.record_step t.trace ~pid;
+    t.current <- Some (pid, task);
+    exec_task_step t task;
+    t.current <- None);
+  t.step <- t.step + 1
+
+let idle_step t =
+  apply_due_crashes t;
+  Trace.record_step t.trace ~pid:(-1);
+  t.step <- t.step + 1
+
 let run t ~policy ~steps =
   let deadline = t.step + steps in
   let continue_run = ref true in
   while !continue_run && t.step < deadline do
-    apply_due_crashes t;
-    let runnable =
-      Array.to_list t.procs
-      |> List.filter proc_runnable
-      |> List.map (fun p -> p.pid)
-      |> Array.of_list
-    in
+    let runnable = runnable_pids t in
     if Array.length runnable = 0 then continue_run := false
     else begin
       (match Policy.next policy ~step:t.step ~runnable ~rng:t.rng with

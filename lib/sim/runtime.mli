@@ -50,6 +50,28 @@ val run : t -> policy:Policy.t -> steps:int -> unit
     a runnable task. May be called repeatedly (e.g. with different policies)
     to build phased schedules. *)
 
+(** {2 Step-replay hooks}
+
+    Single-step drivers for the schedule explorer ({!Tbwf_check.Explore}):
+    instead of delegating the whole run to a policy, a caller can inspect
+    which processes are runnable and execute exactly one chosen step,
+    interleaving its own bookkeeping (invariant checks, access-footprint
+    capture) between steps. Both entry points apply due crashes first, so
+    they compose with {!crash_at} exactly as {!run} does. *)
+
+val runnable_pids : t -> int array
+(** Pids with at least one runnable task, ascending — the choices a policy
+    would be offered at the next step. Applies due crashes first. *)
+
+val step : t -> pid:int -> unit
+(** Execute one step of [pid]'s next runnable task (round-robin within the
+    process, as in {!run}) and record it in the trace. Raises
+    [Invalid_argument] if [pid] is not currently runnable. *)
+
+val idle_step : t -> unit
+(** Let a step pass with nobody scheduled, recording pid -1 in the trace —
+    what {!run} does when the policy declines to pick. *)
+
 val stop : t -> unit
 (** Tear down all suspended tasks by resuming them with an exception. After
     [stop] the runtime can still be inspected but not run. *)

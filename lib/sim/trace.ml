@@ -50,7 +50,24 @@ let step_counts t ~n =
   done;
   counts
 
+let schedule t = Array.to_list (Array.sub t.steps 0 t.len)
+
 let ops t = List.rev t.events
+
+let n_ops t = t.n_events
+
+let ops_from t mark =
+  (* events is reverse-chronological; the newest (n_events - mark) entries
+     are the ones recorded since the mark *)
+  let fresh = t.n_events - mark in
+  if fresh <= 0 then []
+  else begin
+    let rec take k = function
+      | ev :: rest when k > 0 -> ev :: take (k - 1) rest
+      | _ -> []
+    in
+    List.rev (take fresh t.events)
+  end
 
 let iter_ops t f = List.iter f (List.rev t.events)
 

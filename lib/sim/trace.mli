@@ -37,8 +37,22 @@ val steps_of : t -> pid:int -> int list
 val step_counts : t -> n:int -> int array
 (** [step_counts t ~n] gives, for each pid < n, its number of steps. *)
 
+val schedule : t -> int list
+(** The pid of every step recorded so far, in order (-1 for idle steps) —
+    the run's schedule, ready for {!Schedule.make}. *)
+
 val ops : t -> op_event list
 (** All operation events, in chronological order. *)
+
+val n_ops : t -> int
+(** Number of operation events recorded so far. Use as a mark for
+    {!ops_from} to observe the events of a single step. *)
+
+val ops_from : t -> int -> op_event list
+(** [ops_from t mark] is the chronological list of operation events
+    recorded after the first [mark] ones — i.e. since [n_ops t] returned
+    [mark]. The schedule explorer uses this to read off the shared-object
+    access footprint of the step it just executed. *)
 
 val iter_ops : t -> (op_event -> unit) -> unit
 

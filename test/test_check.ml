@@ -152,6 +152,91 @@ let qcheck_mutation_detected =
       Linearizability.check reg_spec history
       && not (Linearizability.check reg_spec mutated))
 
+(* --- permutation oracle -------------------------------------------------- *)
+
+(* Brute-force ground truth for the Wing–Gong checker: a history of <= 6
+   operations is linearizable iff some permutation of its operations both
+   respects real-time precedence and is legal for the sequential spec.
+   Checked against random well-formed histories — including illegal ones,
+   so agreement is exercised on both verdicts. *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+      xs
+
+let oracle spec history =
+  let ops = Array.of_list history in
+  let respects_real_time perm =
+    let rec ok = function
+      | [] -> true
+      | a :: rest ->
+        List.for_all
+          (fun b ->
+            not (ops.(b).History.respond < ops.(a).History.invoke))
+          rest
+        && ok rest
+    in
+    ok perm
+  in
+  let legal perm =
+    let rec go state = function
+      | [] -> true
+      | i :: rest -> (
+        match spec.Linearizability.apply state ops.(i).History.op with
+        | Some (state', r) when Value.equal r ops.(i).History.result ->
+          go state' rest
+        | Some _ | None -> false)
+    in
+    go spec.Linearizability.initial perm
+  in
+  List.exists
+    (fun p -> respects_real_time p && legal p)
+    (permutations (List.init (Array.length ops) Fun.id))
+
+(* Well-formed random history: each pid's operations are sequential (its
+   own windows don't overlap); windows of different pids overlap freely.
+   Results are drawn from a small domain, so a good fraction of histories
+   are NOT linearizable. *)
+let gen_history ~ops_of seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let n_ops = 1 + Rng.int rng 6 in
+  let clock = Array.make 3 0 in
+  List.init n_ops (fun _ ->
+      let pid = Rng.int rng 3 in
+      let invoke = clock.(pid) + Rng.int rng 3 in
+      let respond = invoke + 1 + Rng.int rng 4 in
+      clock.(pid) <- respond + 1;
+      let o, result = ops_of rng in
+      { History.pid; op = o; result; invoke; respond })
+
+let counter_ops rng =
+  if Rng.bool rng 0.5 then (Value.Str "inc", Value.Int (Rng.int rng 4))
+  else (Value.read_op, Value.Int (Rng.int rng 4))
+
+let register_ops rng =
+  if Rng.bool rng 0.5 then
+    (Value.write_op (Value.Int (Rng.int rng 4)), Value.Unit)
+  else (Value.read_op, Value.Int (Rng.int rng 4))
+
+let agrees_with_oracle ~name ~spec ~ops_of =
+  QCheck.Test.make ~name ~count:300
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let history = gen_history ~ops_of seed in
+      Linearizability.check spec history = oracle spec history)
+
+let qcheck_counter_oracle =
+  agrees_with_oracle ~name:"checker agrees with permutation oracle (counter)"
+    ~spec:Linearizability.counter_spec ~ops_of:counter_ops
+
+let qcheck_register_oracle =
+  agrees_with_oracle ~name:"checker agrees with permutation oracle (register)"
+    ~spec:reg_spec ~ops_of:register_ops
+
 let () =
   Alcotest.run "check"
     [
@@ -167,6 +252,8 @@ let () =
           Alcotest.test_case "concurrent read old or new" `Quick
             test_concurrent_read_new_or_old;
           Alcotest.test_case "counter spec" `Quick test_counter_spec;
+          QCheck_alcotest.to_alcotest qcheck_counter_oracle;
+          QCheck_alcotest.to_alcotest qcheck_register_oracle;
         ] );
       ( "history",
         [

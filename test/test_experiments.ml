@@ -127,14 +127,34 @@ let test_e14 () =
   Alcotest.(check bool) "steady progress after GST" true
     r.E14_gst.steady_after_gst
 
+let test_e15 () =
+  let r = E15_exploration.compute ~quick:true () in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: explorers agree" row.E15_exploration.scenario)
+        true row.E15_exploration.agree)
+    r.E15_exploration.rows;
+  Alcotest.(check bool) "POR >=10x overall" true
+    (E15_exploration.coverage_reduction r >= 10.0);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: fuzzer found the bug" f.E15_exploration.f_scenario)
+        true f.E15_exploration.found;
+      Alcotest.(check bool)
+        (Fmt.str "%s: minimal witness replays" f.E15_exploration.f_scenario)
+        true f.E15_exploration.minimal_replays)
+    r.E15_exploration.fuzz_rows
+
 let test_registry_complete () =
-  Alcotest.(check int) "fourteen experiments registered" 14
+  Alcotest.(check int) "fifteen experiments registered" 15
     (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) (Fmt.str "%s findable" id) true
         (Registry.find id <> None))
-    [ "E1"; "e1"; "E5"; "E10" ];
+    [ "E1"; "e1"; "E5"; "E15" ];
   Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
 
 let () =
@@ -156,6 +176,7 @@ let () =
           Alcotest.test_case "E12 routes to progress" `Slow test_e12;
           Alcotest.test_case "E13 detectors" `Slow test_e13;
           Alcotest.test_case "E14 GST" `Slow test_e14;
+          Alcotest.test_case "E15 exploration" `Slow test_e15;
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
         ] );
     ]

@@ -1,173 +1,205 @@
-(* Exhaustive schedule exploration: the invariants below hold over EVERY
-   interleaving of their (small) scenarios, not just sampled ones. *)
+(* Schedule exploration: the invariants of the clean scenarios hold over
+   EVERY interleaving; the planted bugs are found by exhaustive search and
+   by fuzzing; witnesses shrink, serialize and replay deterministically;
+   and the partial-order reduction prunes an order of magnitude of
+   schedules without changing any verdict. *)
 
 open Tbwf_sim
-open Tbwf_registers
-open Tbwf_objects
 open Tbwf_check
+open Tbwf_experiments
 
-let make_runtime n () = Runtime.create ~seed:1L ~n ()
+let find name =
+  match Explore_scenarios.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scenario %s" name
 
-(* --- atomic register: every interleaving is linearizable ----------------- *)
+let check_option_schedule = Alcotest.(option (list int))
 
-let atomic_linearizable_scenario rt =
-  let reg = Atomic_reg.create rt ~name:"X" ~codec:Codec.int ~init:0 in
-  for pid = 0 to 1 do
-    Runtime.spawn rt ~pid ~name:"t" (fun () ->
-        Atomic_reg.write reg (pid + 1);
-        ignore (Atomic_reg.read reg))
-  done;
-  fun () ->
-    let history = History.complete_ops (Runtime.trace rt) ~obj_name:"X" in
-    Linearizability.check (Linearizability.register_spec ~init:(Value.Int 0)) history
+(* --- clean scenarios: no violating schedule exists ----------------------- *)
 
-let test_atomic_all_schedules () =
-  let outcome =
-    Explore.exhaustive ~max_steps:10 ~scenario:atomic_linearizable_scenario
-      ~make_runtime:(make_runtime 2) ()
-  in
-  Alcotest.(check (option (list int))) "no violating schedule" None
-    outcome.Explore.violation;
-  Alcotest.(check bool) "explored many interleavings" true
-    (outcome.Explore.schedules > 20)
+let test_clean_all_schedules () =
+  List.iter
+    (fun name ->
+      let s = find name in
+      let outcome = Explore_scenarios.exhaustive s in
+      Alcotest.check check_option_schedule
+        (name ^ ": no violating schedule") None outcome.Explore.violation;
+      Alcotest.(check bool) (name ^ ": search exhausted") true
+        outcome.Explore.exhausted;
+      Alcotest.(check bool) (name ^ ": nontrivial exploration") true
+        (outcome.Explore.schedules > 5))
+    [ "atomic2"; "abortable2"; "qa2"; "regs3" ]
 
-(* The checker itself must be able to fail: a broken "register" that
-   returns a constant wrong value is caught by some schedule. *)
-let broken_register_scenario rt =
-  let cell = ref (Value.Int 0) in
-  let obj =
-    Runtime.register_object rt ~name:"B" ~respond:(fun ctx ->
-        match ctx.Shared.op with
-        | Value.Pair (Str "write", v) ->
-          cell := v;
-          Value.Unit
-        | Value.Pair (Str "read", _) -> Value.Int 999 (* always wrong *)
-        | _ -> assert false)
-  in
-  Runtime.spawn rt ~pid:0 ~name:"t" (fun () ->
-      let (_ : Value.t) = Runtime.call obj (Value.write_op (Value.Int 1)) in
-      let (_ : Value.t) = Runtime.call obj Value.read_op in
-      ());
-  fun () ->
-    let history = History.complete_ops (Runtime.trace rt) ~obj_name:"B" in
-    Linearizability.check (Linearizability.register_spec ~init:(Value.Int 0)) history
+(* --- explorers agree, reduction is real ---------------------------------- *)
+
+let test_por_agrees_and_reduces () =
+  let naive_total = ref 0 and por_total = ref 0 in
+  List.iter
+    (fun s ->
+      let naive = Explore_scenarios.exhaustive_naive s in
+      let dfs = Explore_scenarios.exhaustive ~por:false s in
+      let por = Explore_scenarios.exhaustive s in
+      let found o = o.Explore.violation <> None in
+      Alcotest.(check bool)
+        (s.Explore_scenarios.name ^ ": naive verdict")
+        s.Explore_scenarios.expect_violation (found naive);
+      Alcotest.(check bool)
+        (s.Explore_scenarios.name ^ ": dfs verdict")
+        s.Explore_scenarios.expect_violation (found dfs);
+      Alcotest.(check bool)
+        (s.Explore_scenarios.name ^ ": por verdict")
+        s.Explore_scenarios.expect_violation (found por);
+      Alcotest.(check bool)
+        (s.Explore_scenarios.name ^ ": por never explores more than dfs")
+        true
+        (por.Explore.schedules <= dfs.Explore.schedules);
+      naive_total := !naive_total + naive.Explore.schedules;
+      por_total := !por_total + por.Explore.schedules)
+    Explore_scenarios.all;
+  Alcotest.(check bool)
+    (Fmt.str "POR executes >=10x fewer schedules (naive %d vs POR %d)"
+       !naive_total !por_total)
+    true
+    (!naive_total >= 10 * !por_total)
+
+let test_por_reduction_on_disjoint_registers () =
+  let s = find "regs3" in
+  let naive = Explore_scenarios.exhaustive_naive s in
+  let por = Explore_scenarios.exhaustive s in
+  Alcotest.(check bool)
+    (Fmt.str "regs3 alone >=10x (naive %d vs POR %d)" naive.Explore.schedules
+       por.Explore.schedules)
+    true
+    (naive.Explore.schedules >= 10 * por.Explore.schedules)
+
+(* --- violations: found, witnessed, replayable ---------------------------- *)
 
 let test_explorer_finds_violations () =
-  let outcome =
-    Explore.exhaustive ~max_steps:8 ~scenario:broken_register_scenario
-      ~make_runtime:(make_runtime 1) ()
-  in
-  Alcotest.(check bool) "witness script found" true
-    (outcome.Explore.violation <> None)
+  List.iter
+    (fun name ->
+      let s = find name in
+      let outcome = Explore_scenarios.exhaustive s in
+      match outcome.Explore.violation with
+      | None -> Alcotest.failf "%s: no witness found" name
+      | Some witness ->
+        Alcotest.(check bool) (name ^ ": witness replays to a violation")
+          false
+          (Explore_scenarios.replay s witness);
+        (* the witness round-trips through the schedule text format *)
+        let sched = Explore_scenarios.schedule_of s witness in
+        (match Schedule.of_string (Schedule.to_string sched) with
+        | Ok parsed ->
+          Alcotest.(check (list int)) (name ^ ": schedule round-trip") witness
+            (Schedule.pids parsed)
+        | Error msg -> Alcotest.failf "%s: round-trip failed: %s" name msg))
+    [ "broken1"; "mutex2" ]
 
-(* --- abortable register: domain safety over every interleaving ----------- *)
+(* --- budget: both the exhausted and the partial path --------------------- *)
 
-let abortable_domain_scenario rt =
-  let reg =
-    Abortable_reg.create rt ~name:"A" ~codec:Codec.int ~init:0 ~writer:0
-      ~reader:1 ~policy:Abort_policy.Always
-      ~write_effect:Abort_policy.Effect_always ()
-  in
-  let reads = ref [] in
-  Runtime.spawn rt ~pid:0 ~name:"w" (fun () ->
-      ignore (Abortable_reg.write reg 1);
-      ignore (Abortable_reg.write reg 2));
-  Runtime.spawn rt ~pid:1 ~name:"r" (fun () ->
-      for _ = 1 to 2 do
-        match Abortable_reg.read reg with
-        | Some v ->
-          let snapshot = !reads in
-          reads := v :: snapshot
-        | None -> ()
-      done);
-  fun () ->
-    (* Any successful read returns a value that was written or the init,
-       and the cell itself never leaves that domain. *)
-    List.for_all (fun v -> v = 0 || v = 1 || v = 2) !reads
-    && List.mem (Abortable_reg.peek reg) [ 0; 1; 2 ]
+let test_budget_partial_outcome () =
+  let s = find "regs3" in
+  let partial = Explore_scenarios.exhaustive ~max_schedules:10 s in
+  Alcotest.(check int) "stopped exactly at the budget" 10
+    partial.Explore.schedules;
+  Alcotest.(check bool) "partial search is flagged" false
+    partial.Explore.exhausted;
+  Alcotest.check check_option_schedule "no violation in the covered part"
+    None partial.Explore.violation;
+  let full = Explore_scenarios.exhaustive s in
+  Alcotest.(check bool) "full search is exhausted" true full.Explore.exhausted
 
-let test_abortable_all_schedules () =
-  let outcome =
-    Explore.exhaustive ~max_steps:10 ~scenario:abortable_domain_scenario
-      ~make_runtime:(make_runtime 2) ()
-  in
-  Alcotest.(check (option (list int))) "no violating schedule" None
-    outcome.Explore.violation
+let test_budget_partial_outcome_naive () =
+  let s = find "regs3" in
+  let partial = Explore_scenarios.exhaustive_naive ~max_schedules:25 s in
+  Alcotest.(check int) "naive stopped at the budget" 25
+    partial.Explore.schedules;
+  Alcotest.(check bool) "naive partial search is flagged" false
+    partial.Explore.exhausted;
+  let small = Explore_scenarios.exhaustive_naive (find "broken1") in
+  Alcotest.(check bool) "small naive search is exhausted"
+    true
+    (* the naive explorer stops at the first violation; it never exceeded
+       its budget, so the space it set out to cover is done *)
+    small.Explore.exhausted
 
-(* --- query-abortable object: fates are exact over every interleaving ----- *)
+(* --- fuzzing + shrinking ------------------------------------------------- *)
 
-let qa_fate_scenario rt =
-  let qa =
-    Qa_object.create rt ~name:"q" ~spec:Counter.spec ~policy:Abort_policy.Always
-      ~effect_on_abort:Abort_policy.Effect_always ()
-  in
-  let confirmed = ref [] in
-  for pid = 0 to 1 do
-    Runtime.spawn rt ~pid ~name:"t" (fun () ->
-        let res = qa.Qa_intf.invoke Counter.inc in
-        let fate =
-          if Value.equal res Value.Abort then qa.Qa_intf.query () else res
-        in
-        match fate with
-        | Value.Int v ->
-          let snapshot = !confirmed in
-          confirmed := v :: snapshot
-        | _ -> () (* query aborted or failed: fate unknown to this process *))
-  done;
-  fun () ->
-    (* Effect_always: both incs take effect exactly once eventually, so the
-       state never exceeds 2, confirmed responses are distinct pre-increment
-       values below the state, and the state always equals the number of
-       effects so far. *)
-    match qa.Qa_intf.peek_state () with
-    | Value.Int state ->
-      state >= 0 && state <= 2
-      && List.length !confirmed <= state
-      && List.for_all (fun v -> v >= 0 && v < state) !confirmed
-      && List.sort_uniq compare !confirmed = List.sort compare !confirmed
-    | _ -> false
+let test_fuzz_finds_and_shrinks_mutex () =
+  let s = find "mutex2" in
+  let f = Explore_scenarios.fuzz ~seed:0xF00DL ~runs:2_000 s in
+  match f.Explore.counterexample with
+  | None -> Alcotest.fail "fuzzer missed the mutual-exclusion violation"
+  | Some minimal ->
+    let original = Option.get f.Explore.shrunk_from in
+    Alcotest.(check bool) "shrinking never grows" true
+      (List.length minimal <= original);
+    Alcotest.(check bool) "minimal schedule still violates" false
+      (Explore_scenarios.replay s minimal);
+    (* 1-minimality: dropping any single step loses the violation *)
+    List.iteri
+      (fun i _ ->
+        let without = List.filteri (fun j _ -> j <> i) minimal in
+        Alcotest.(check bool)
+          (Fmt.str "dropping step %d loses the violation" i)
+          true
+          (Explore_scenarios.replay s without))
+      minimal
 
-let test_qa_fates_all_schedules () =
-  let outcome =
-    Explore.exhaustive ~max_steps:12 ~scenario:qa_fate_scenario
-      ~make_runtime:(make_runtime 2) ()
-  in
-  Alcotest.(check (option (list int))) "no violating schedule" None
-    outcome.Explore.violation;
-  Alcotest.(check bool) "nontrivial exploration" true
-    (outcome.Explore.schedules > 15)
+let test_fuzz_clean_scenario_finds_nothing () =
+  let f = Explore_scenarios.fuzz ~seed:42L ~runs:300 (find "atomic2") in
+  Alcotest.check check_option_schedule "no counterexample on atomic2" None
+    f.Explore.counterexample;
+  Alcotest.(check int) "all runs executed" 300 f.Explore.fuzz_runs
 
-(* --- budget guard --------------------------------------------------------- *)
+(* --- committed counterexample: the regression replay --------------------- *)
 
-let test_budget_guard () =
-  let big_scenario rt =
-    for pid = 0 to 2 do
-      Runtime.spawn rt ~pid ~name:"t" (fun () ->
-          while true do
-            Runtime.yield ()
-          done)
-    done;
-    fun () -> true
-  in
-  Alcotest.check_raises "budget exceeded raises"
-    (Failure "Explore.exhaustive: schedule budget exceeded") (fun () ->
-      ignore
-        (Explore.exhaustive ~max_schedules:50 ~max_steps:30
-           ~scenario:big_scenario ~make_runtime:(make_runtime 3) ()))
+(* Found by `tbwf_explore fuzz mutex2` and shrunk to 1-minimality: both
+   processes pass the check-then-set race and enter the critical section.
+   Committed in serialized form; must reproduce byte-deterministically. *)
+let committed_mutex_violation = "tbwf-sched v1 n=2 seed=1\n1x2 0x2 1 0 1 0\n"
+
+let test_committed_counterexample_replays () =
+  match Schedule.of_string committed_mutex_violation with
+  | Error msg -> Alcotest.failf "committed schedule unparseable: %s" msg
+  | Ok sched ->
+    Alcotest.(check int) "n preserved" 2 (Schedule.n sched);
+    Alcotest.(check int) "length preserved" 8 (Schedule.length sched);
+    let s = find "mutex2" in
+    Alcotest.(check bool) "committed schedule violates mutual exclusion"
+      false
+      (Explore_scenarios.replay s (Schedule.pids sched));
+    (* and does so on every replay — determinism *)
+    Alcotest.(check bool) "second replay identical" false
+      (Explore_scenarios.replay s (Schedule.pids sched))
 
 let () =
   Alcotest.run "explore"
     [
       ( "exhaustive",
         [
-          Alcotest.test_case "atomic register linearizable on all schedules"
-            `Slow test_atomic_all_schedules;
-          Alcotest.test_case "explorer finds violations" `Quick
+          Alcotest.test_case "clean scenarios hold on all schedules" `Slow
+            test_clean_all_schedules;
+          Alcotest.test_case "explorer finds planted violations" `Quick
             test_explorer_finds_violations;
-          Alcotest.test_case "abortable register domain-safe on all schedules"
-            `Slow test_abortable_all_schedules;
-          Alcotest.test_case "QA fates exact on all schedules" `Slow
-            test_qa_fates_all_schedules;
-          Alcotest.test_case "budget guard" `Quick test_budget_guard;
+          Alcotest.test_case "budget yields partial outcome" `Quick
+            test_budget_partial_outcome;
+          Alcotest.test_case "naive budget yields partial outcome" `Quick
+            test_budget_partial_outcome_naive;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "POR agrees with naive and reduces >=10x" `Slow
+            test_por_agrees_and_reduces;
+          Alcotest.test_case "POR >=10x on disjoint-register scenario" `Slow
+            test_por_reduction_on_disjoint_registers;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "fuzz finds and shrinks mutex violation" `Quick
+            test_fuzz_finds_and_shrinks_mutex;
+          Alcotest.test_case "fuzz finds nothing on a clean scenario" `Quick
+            test_fuzz_clean_scenario_finds_nothing;
+          Alcotest.test_case "committed counterexample replays" `Quick
+            test_committed_counterexample_replays;
         ] );
     ]
