@@ -15,7 +15,7 @@ let run quick ids =
           Fmt.pf fmt "@.=== %s: %s ===@." entry.Tbwf_experiments.Registry.id
             entry.Tbwf_experiments.Registry.title;
           entry.Tbwf_experiments.Registry.run ~quick fmt
-        | None -> Fmt.epr "unknown experiment %S (known: E1..E14)@." id)
+        | None -> Fmt.epr "unknown experiment %S (known: E1..E16)@." id)
       ids);
   Fmt.flush fmt ()
 
@@ -24,7 +24,7 @@ let quick =
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
 let ids =
-  let doc = "Experiment ids to run (default: all of E1..E10)." in
+  let doc = "Experiment ids to run (default: all of E1..E16)." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let cmd =

@@ -1,0 +1,103 @@
+open Tbwf_sim
+
+type prediction = {
+  pred_n : int;
+  pred_timely : int list;
+  pred_from : int;
+  pred_bound : int;
+}
+
+type process_verdict = {
+  dv_pid : int;
+  dv_predicted_timely : bool;
+  dv_sched_timely : bool option;
+  dv_tail_ops : int;
+  dv_tail_steps : int;
+  dv_ok : bool;
+}
+
+type verdict = {
+  holds : bool;
+  from_step : int;
+  processes : process_verdict list;
+}
+
+let tail_steps trace ~pid ~from_step =
+  let len = Trace.length trace in
+  let count = ref 0 in
+  for i = from_step to len - 1 do
+    if Trace.pid_at trace i = pid then incr count
+  done;
+  !count
+
+let check ?(min_ops = 1) ?(require_sched_timely = true) ~prediction ~trace
+    ~completed_before ~completed_after () =
+  let p = prediction in
+  if Array.length completed_before <> p.pred_n
+     || Array.length completed_after <> p.pred_n
+  then invalid_arg "Degradation.check: completed arrays must have length n";
+  let processes =
+    List.init p.pred_n (fun pid ->
+        let predicted_timely = List.mem pid p.pred_timely in
+        let tail_ops = completed_after.(pid) - completed_before.(pid) in
+        let steps = tail_steps trace ~pid ~from_step:p.pred_from in
+        if not predicted_timely then
+          (* Exempt: the plan withdrew this process's guarantee (crashed or
+             made untimely). It may stall; nothing to check. *)
+          {
+            dv_pid = pid;
+            dv_predicted_timely = false;
+            dv_sched_timely = None;
+            dv_tail_ops = tail_ops;
+            dv_tail_steps = steps;
+            dv_ok = true;
+          }
+        else begin
+          let sched_timely =
+            Timeliness.timely trace ~n:p.pred_n ~p:pid ~from_step:p.pred_from
+              ~bound:p.pred_bound
+          in
+          let ok =
+            tail_ops >= min_ops
+            && ((not require_sched_timely) || sched_timely)
+          in
+          {
+            dv_pid = pid;
+            dv_predicted_timely = true;
+            dv_sched_timely = Some sched_timely;
+            dv_tail_ops = tail_ops;
+            dv_tail_steps = steps;
+            dv_ok = ok;
+          }
+        end)
+  in
+  {
+    holds = List.for_all (fun v -> v.dv_ok) processes;
+    from_step = p.pred_from;
+    processes;
+  }
+
+let timely_tail_ops verdict =
+  List.filter_map
+    (fun v -> if v.dv_predicted_timely then Some v.dv_tail_ops else None)
+    verdict.processes
+
+let min_timely_tail_ops verdict =
+  match timely_tail_ops verdict with
+  | [] -> None
+  | ops -> Some (List.fold_left min max_int ops)
+
+let pp_process fmt v =
+  Fmt.pf fmt "p%d %s: %d ops in %d own steps of the tail%s%s" v.dv_pid
+    (if v.dv_predicted_timely then "timely " else "exempt ")
+    v.dv_tail_ops v.dv_tail_steps
+    (match v.dv_sched_timely with
+    | Some false -> " [schedule not timely!]"
+    | Some true | None -> "")
+    (if v.dv_ok then "" else " FAIL")
+
+let pp_verdict fmt verdict =
+  Fmt.pf fmt "degradation contract %s from step %d@."
+    (if verdict.holds then "HOLDS" else "VIOLATED")
+    verdict.from_step;
+  List.iter (fun v -> Fmt.pf fmt "  %a@." pp_process v) verdict.processes

@@ -1,0 +1,79 @@
+(** The TBWF graceful-degradation contract, checked against a run.
+
+    A fault plan ({!Tbwf_nemesis.Fault_plan}) predicts, for each process,
+    whether it is still timely once the plan's last schedule-affecting
+    fault has been injected. The paper's contract (Definition 3 plus
+    Theorems 7–15) is then:
+
+    - every process the plan predicts timely keeps completing operations
+      in the tail of the run — its guarantee survives other processes'
+      faults untouched;
+    - processes the plan made untimely (or crashed) may stall, but that is
+      {e all} that may happen: their faults never revoke anyone else's
+      guarantee.
+
+    This module is deliberately plan-agnostic: it consumes a bare
+    {!prediction} (who is timely, from when, with what bound), a trace,
+    and per-process completed-operation counters snapshotted at the tail
+    boundary, so it sits below the nemesis library and any workload type.
+    Gracefully-degrading algorithms must satisfy the verdict under every
+    plan; boosting-style baselines are expected to violate it under plans
+    that make some process non-timely — the negative control that shows
+    the checker has teeth. *)
+
+type prediction = {
+  pred_n : int;  (** process count *)
+  pred_timely : int list;
+      (** pids the plan predicts remain timely after [pred_from] *)
+  pred_from : int;
+      (** settle step: the last injected schedule-affecting fault; the
+          checked tail is every step from here on *)
+  pred_bound : int;
+      (** timeliness bound the compiled plan is expected to deliver for
+          the predicted-timely processes (Definition 1's gap bound) *)
+}
+
+type process_verdict = {
+  dv_pid : int;
+  dv_predicted_timely : bool;
+  dv_sched_timely : bool option;
+      (** for predicted-timely processes: did the executed schedule
+          actually keep the process timely in the tail (sanity check on
+          the plan compiler)? [None] for exempt processes *)
+  dv_tail_ops : int;  (** operations completed in the tail *)
+  dv_tail_steps : int;  (** own steps taken in the tail *)
+  dv_ok : bool;
+}
+
+type verdict = {
+  holds : bool;  (** all predicted-timely processes made their contract *)
+  from_step : int;
+  processes : process_verdict list;
+}
+
+val check :
+  ?min_ops:int ->
+  ?require_sched_timely:bool ->
+  prediction:prediction ->
+  trace:Tbwf_sim.Trace.t ->
+  completed_before:int array ->
+  completed_after:int array ->
+  unit ->
+  verdict
+(** [check ~prediction ~trace ~completed_before ~completed_after ()]
+    verdicts one finished run. [completed_before] is the per-pid
+    completed-operation counter snapshotted at [pred_from];
+    [completed_after] at the end of the run. A predicted-timely process is
+    ok iff it completed at least [min_ops] (default 1) operations in the
+    tail and (unless [require_sched_timely] is [false]) the executed
+    schedule kept it timely with bound [pred_bound] — a failed schedule
+    sanity check means the {e plan compilation} is at fault, not the
+    algorithm, and is reported via [dv_sched_timely] so it is never
+    mistaken for an algorithm violation. Raises [Invalid_argument] if the
+    counter arrays do not have length [pred_n]. *)
+
+val min_timely_tail_ops : verdict -> int option
+(** Minimum tail operations over predicted-timely processes; [None] if the
+    plan predicts nobody timely. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -14,11 +14,12 @@ type fuzz_outcome = {
 
 (* --- replay ------------------------------------------------------------- *)
 
-let replay ~max_steps ~scenario ~make_runtime pids =
+let replay_checked ~max_steps ~scenario ~make_runtime pids =
   let rt = make_runtime () in
   let invariant = scenario rt in
   let ok = ref (invariant ()) in
   let steps = ref 0 in
+  let mismatches = ref 0 in
   List.iter
     (fun pid ->
       if !ok && !steps < max_steps then begin
@@ -28,10 +29,14 @@ let replay ~max_steps ~scenario ~make_runtime pids =
           incr steps;
           if not (invariant ()) then ok := false
         end
+        else if pid >= 0 then incr mismatches
       end)
     pids;
   Runtime.stop rt;
-  !ok
+  !ok, !mismatches
+
+let replay ~max_steps ~scenario ~make_runtime pids =
+  fst (replay_checked ~max_steps ~scenario ~make_runtime pids)
 
 (* --- incremental DFS with sleep-set partial-order reduction -------------- *)
 
@@ -288,4 +293,69 @@ let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~max_steps ~scenario
       fuzz_runs = !executed;
       counterexample = Some minimal;
       shrunk_from = Some (List.length pids);
+    }
+
+(* --- fuzzing schedules *and* fault plans --------------------------------- *)
+
+type 'plan fault_fuzz_outcome = {
+  plan_runs : int;
+  plan_counterexample : (int list * 'plan) option;
+  plan_shrunk_from : int option;
+}
+
+let fuzz_faults ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~gen_plan ~shrink_plan
+    ~max_steps ~scenario ~make_runtime () =
+  let rng = Rng.create seed in
+  let witness = ref None in
+  let executed = ref 0 in
+  while !witness = None && !executed < runs do
+    incr executed;
+    let plan = gen_plan rng in
+    let rt = make_runtime plan () in
+    let invariant = scenario plan rt in
+    let sched = ref [] in
+    let steps = ref 0 in
+    let stop_run = ref (not (invariant ())) in
+    if !stop_run then witness := Some ([], plan);
+    while (not !stop_run) && !steps < max_steps do
+      let runnable = Runtime.runnable_pids rt in
+      if Array.length runnable = 0 then stop_run := true
+      else begin
+        let pid = runnable.(Rng.int rng (Array.length runnable)) in
+        Runtime.step rt ~pid;
+        sched := pid :: !sched;
+        incr steps;
+        if not (invariant ()) then begin
+          witness := Some (List.rev !sched, plan);
+          stop_run := true
+        end
+      end
+    done;
+    Runtime.stop rt
+  done;
+  match !witness with
+  | None ->
+    { plan_runs = !executed; plan_counterexample = None; plan_shrunk_from = None }
+  | Some (pids, plan) ->
+    (* Alternate dimensions: shrink the schedule under the found plan,
+       then the plan under the shrunk schedule, then the schedule once
+       more under the shrunk plan — each shrink can only enable the other,
+       and one extra round suffices for the small plans we generate. *)
+    let fails_with plan candidate =
+      not
+        (replay ~max_steps ~scenario:(scenario plan)
+           ~make_runtime:(make_runtime plan) candidate)
+    in
+    let sched1 =
+      if pids = [] then [] else Shrink.ddmin ~fails:(fails_with plan) pids
+    in
+    let plan' = shrink_plan ~fails:(fun p -> fails_with p sched1) plan in
+    let sched2 =
+      if sched1 = [] then []
+      else Shrink.ddmin ~fails:(fails_with plan') sched1
+    in
+    {
+      plan_runs = !executed;
+      plan_counterexample = Some (sched2, plan');
+      plan_shrunk_from = Some (List.length pids);
     }

@@ -120,3 +120,51 @@ val replay :
     runnable (finished, crashed — or made meaningless by shrinking) are
     skipped, which keeps every sublist of a schedule executable: exactly
     what {!Shrink.ddmin} needs. *)
+
+val replay_checked :
+  max_steps:int ->
+  scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
+  int list ->
+  bool * int
+(** Like {!replay}, but also counts mismatched entries — recorded non-idle
+    pids that were not runnable and so were skipped. A committed
+    counterexample replayed against drifted code should report its
+    mismatch count rather than silently checking a different schedule;
+    a faithful replay reports 0. *)
+
+(** {2 Fuzzing schedules and fault plans together}
+
+    A run under fault injection is a function of (seed, schedule, fault
+    plan), so counterexample search gains a second dimension: the plan.
+    {!fuzz_faults} is {!fuzz} generalized over an abstract plan type —
+    each run draws a fresh plan from [gen_plan] (using the fuzzer's own
+    seeded stream, so plan drawing is as deterministic as schedule
+    drawing), builds the runtime and scenario {e for that plan} (the plan
+    decides crash injections and abort policies at construction time), and
+    random-walks schedules as before. A failing (schedule, plan) pair is
+    shrunk in both dimensions: schedule by {!Shrink.ddmin}, plan by the
+    caller's [shrink_plan] (typically ddmin over the plan's atoms), then
+    the schedule once more under the smaller plan. *)
+
+type 'plan fault_fuzz_outcome = {
+  plan_runs : int;  (** (schedule, plan) pairs executed *)
+  plan_counterexample : (int list * 'plan) option;
+      (** shrunk failing pair, if a violation was found *)
+  plan_shrunk_from : int option;
+      (** schedule length before shrinking *)
+}
+
+val fuzz_faults :
+  ?seed:int64 ->
+  ?runs:int ->
+  gen_plan:(Tbwf_sim.Rng.t -> 'plan) ->
+  shrink_plan:(fails:('plan -> bool) -> 'plan -> 'plan) ->
+  max_steps:int ->
+  scenario:('plan -> Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:('plan -> unit -> Tbwf_sim.Runtime.t) ->
+  unit ->
+  'plan fault_fuzz_outcome
+(** [shrink_plan ~fails plan] must return a (possibly equal) plan on which
+    [fails] still holds — {!Tbwf_nemesis.Fault_plan.shrink} is the
+    intended implementation. Everything else is as {!fuzz}. *)

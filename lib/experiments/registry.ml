@@ -83,6 +83,11 @@ let all =
       title = "schedule-exploration coverage";
       run = wrap E15_exploration.compute E15_exploration.report;
     };
+    {
+      id = "E16";
+      title = "Nemesis degradation matrix";
+      run = wrap E16_nemesis.compute E16_nemesis.report;
+    };
   ]
 
 let run_all ?quick fmt =

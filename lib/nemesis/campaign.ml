@@ -1,0 +1,353 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_check
+open Tbwf_omega
+open Tbwf_objects
+open Tbwf_core
+
+(* --- systems under test -------------------------------------------------- *)
+
+type system =
+  | Tbwf_atomic
+  | Tbwf_abortable
+  | Tbwf_universal
+  | Naive_booster
+  | Retry
+
+let system_name = function
+  | Tbwf_atomic -> "tbwf-atomic"
+  | Tbwf_abortable -> "tbwf-abortable"
+  | Tbwf_universal -> "tbwf-universal"
+  | Naive_booster -> "naive-booster"
+  | Retry -> "retry"
+
+let system_of_name = function
+  | "tbwf-atomic" -> Ok Tbwf_atomic
+  | "tbwf-abortable" -> Ok Tbwf_abortable
+  | "tbwf-universal" -> Ok Tbwf_universal
+  | "naive-booster" -> Ok Naive_booster
+  | "retry" -> Ok Retry
+  | s -> Error (Fmt.str "unknown system %S" s)
+
+let paper_systems = [ Tbwf_atomic; Tbwf_abortable; Tbwf_universal ]
+let baseline_systems = [ Naive_booster; Retry ]
+let all_systems = paper_systems @ baseline_systems
+
+(* Build the object stack for one system, with the plan's channel-level
+   atoms compiled into the abort policies of the registers they target. *)
+let build_invoke plan system rt =
+  let qa_policy =
+    Fault_plan.abort_policy plan ~target:Fault_plan.Qa
+      ~base:Abort_policy.Always
+  in
+  let mesh_policy =
+    Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
+      ~base:Abort_policy.Always
+  in
+  let qa_direct () =
+    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
+      ~policy:qa_policy ()
+  in
+  match system with
+  | Tbwf_atomic ->
+    let handles = (Omega_registers.install rt).Omega_registers.handles in
+    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
+  | Tbwf_abortable ->
+    let handles =
+      (Omega_abortable.install rt ~policy:mesh_policy ())
+        .Omega_abortable.handles
+    in
+    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
+  | Tbwf_universal ->
+    let handles =
+      (Omega_abortable.install rt ~policy:mesh_policy ())
+        .Omega_abortable.handles
+    in
+    let qa =
+      Qa_universal.create rt ~name:"counter-qa" ~spec:Counter.spec
+        ~policy:qa_policy ()
+    in
+    Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
+  | Naive_booster ->
+    let handles =
+      (Baselines.Naive_booster.install rt).Baselines.Naive_booster.handles
+    in
+    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
+  | Retry -> Baselines.retry_invoke (qa_direct ())
+
+(* --- running one plan against one system --------------------------------- *)
+
+type run_result = {
+  rr_system : system;
+  rr_verdict : Degradation.verdict;
+  rr_tail_steps : int;
+}
+
+let default_seed = 0x4E454D45L (* "NEME" *)
+
+(* The graceful-degradation predicate demands a tail *rate*, not bare
+   non-zero progress: a booster that trusts the slow process forever still
+   trickles the odd operation through a suspicion window (roughly one per
+   doubling of the decelerating gap — geometrically rarer over time),
+   while every TBWF system sustains about one operation per 1.5(n+1)k
+   steps per timely process or better. Measured at the catalogue's
+   dimensions: paper systems complete 10–76 ops per timely process in the
+   tail, the naive booster at most 1–2 when the slow control runs from
+   step 0, so one op per 1 500(n+1) tail steps (3 at quick dimensions, 11
+   at full) separates the two populations with margin on both sides. *)
+let required_tail_ops ~n ~tail = max 2 (tail / (1_500 * (n + 1)))
+
+let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
+  let n = Fault_plan.n plan in
+  let horizon = Fault_plan.horizon plan in
+  let rt = Runtime.create ~seed ~n () in
+  let invoke = build_invoke plan system rt in
+  let stats = Workload.fresh_stats ~n in
+  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
+    ~next_op:(Workload.forever Counter.inc);
+  Fault_plan.install_crashes plan rt;
+  let policy = Fault_plan.policy plan in
+  (* Tail = the last quarter of the horizon, pushed later if the plan
+     settles later than that: the contract is "keeps progressing after the
+     last fault", and the tail must leave the recovered system room to
+     demonstrate it. *)
+  let snap = max (Fault_plan.settle_step plan) (horizon - (horizon / 4)) in
+  Runtime.run rt ~policy ~steps:snap;
+  let completed_before = Array.copy stats.Workload.completed in
+  Runtime.run rt ~policy ~steps:(horizon - snap);
+  let completed_after = Array.copy stats.Workload.completed in
+  let prediction =
+    { (Fault_plan.prediction plan) with Degradation.pred_from = snap }
+  in
+  let min_ops =
+    match min_ops with
+    | Some m -> m
+    | None -> required_tail_ops ~n ~tail:(horizon - snap)
+  in
+  let verdict =
+    Degradation.check ~min_ops ~prediction ~trace:(Runtime.trace rt)
+      ~completed_before ~completed_after ()
+  in
+  Runtime.stop rt;
+  { rr_system = system; rr_verdict = verdict; rr_tail_steps = horizon - snap }
+
+(* --- the campaign catalogue ---------------------------------------------- *)
+
+type t = {
+  c_name : string;
+  c_summary : string;
+  c_atom : string;
+  c_plan : n:int -> horizon:int -> Fault_plan.t;
+  c_expect_fail : system list;
+}
+
+let name c = c.c_name
+let summary c = c.c_summary
+let headline_atom c = c.c_atom
+let expect_fail c = c.c_expect_fail
+let plan c ~n ~horizon = c.c_plan ~n ~horizon
+
+(* E2's proven deceleration: the naive booster's doubling timeout overtakes
+   ×1.15 gap growth and trusts the process through ever-longer waits, while
+   TBWF's +1 adaptation keeps suspecting and punishing it. *)
+let slow ~pid ~at = Fault_plan.Slow { pid; at; gap = 60; growth = 1.15 }
+
+(* Every campaign keeps a timeliness fault on process 0 from step 0: the
+   naive booster's registers are atomic and its monitors ignore abort
+   atoms, so a campaign whose only faults live below the register
+   abstraction could not distinguish graceful degradation from boosting at
+   all. The control makes process 0 non-timely in every campaign, which is
+   exactly the fault class the baselines mishandle (E2), while the
+   headline atom stresses the paper algorithms in its own way. The control
+   starts at step 0 — by the time the tail window opens, the decelerating
+   gap is so large that the booster's suspicion windows have become
+   vanishingly rare, which is what makes its trickle measurably distinct
+   from a timely process's sustained rate. *)
+let catalogue =
+  [
+    {
+      c_name = "slowdown";
+      c_summary =
+        "process 0 decelerates forever from the start; every other process \
+         must keep completing operations (the paper's headline scenario, \
+         as E2)";
+      c_atom = "slow";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~n ~horizon [ slow ~pid:0 ~at:0 ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "gst";
+      c_summary =
+        "processes 1..n-1 flicker from the start and become timely at \
+         their own GST (h/2); process 0 decelerates forever and never \
+         stabilizes — a per-process global stabilization time (as E14)";
+      c_atom = "timely";
+      c_plan =
+        (fun ~n ~horizon ->
+          (* Constant-duty flicker (growth 1.0): the observers stay
+             intermittent pre-GST but their clocks keep running, so the
+             pre-GST phase exercises recovery rather than freezing the
+             whole system. *)
+          let flicker pid =
+            Fault_plan.Flicker
+              {
+                pid;
+                at = 0;
+                active = 80;
+                sleep = 200 + (40 * pid);
+                growth = 1.0;
+              }
+          in
+          let gst pid =
+            Fault_plan.Timely { pid; at = horizon / 2; period = n + 1 }
+          in
+          Fault_plan.make ~n ~horizon
+            (slow ~pid:0 ~at:0
+            :: List.concat_map
+                 (fun pid -> [ flicker pid; gst pid ])
+                 (List.init (n - 1) (fun i -> i + 1))));
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "flicker";
+      c_summary =
+        "process 0 flickers from the start with geometrically growing \
+         sleeps — intermittent timeliness that keeps luring boosters into \
+         re-trusting it (as E9)";
+      c_atom = "flicker";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~n ~horizon
+            [
+              Fault_plan.Flicker
+                {
+                  pid = 0;
+                  at = 0;
+                  active = 40;
+                  sleep = 200;
+                  growth = 1.2;
+                };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "crash-storm";
+      c_summary =
+        "process 0 decelerates from the start, then process 1 crashes at \
+         5h/8: the survivors must absorb the crash and keep completing \
+         while the decelerating process still poisons boosters";
+      c_atom = "crash";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Crash { pid = 1; at = 5 * horizon / 8 };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "abort-ramp";
+      c_summary =
+        "operations on the query-abortable object abort with probability \
+         ramping 0.5 to 0.9 over [h/4, 3h/4), then the storm lifts; plus \
+         the slowdown control on process 0";
+      c_atom = "abort-ramp";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Abort_ramp
+                {
+                  target = Fault_plan.Qa;
+                  from = horizon / 4;
+                  until = 3 * horizon / 4;
+                  rate0 = 0.5;
+                  rate1 = 0.9;
+                };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "staleness";
+      c_summary =
+        "heartbeat writes into the Ω mesh are lost over [h/4, 3h/4) — \
+         every process looks crashed to every other — then delivery \
+         resumes; plus the slowdown control on process 0";
+      c_atom = "staleness";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Staleness
+                { from = horizon / 4; until = 3 * horizon / 4 };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+  ]
+
+let find name =
+  List.find_opt (fun c -> String.equal c.c_name name) catalogue
+
+(* --- running a campaign --------------------------------------------------- *)
+
+type row = {
+  row_system : system;
+  row_expected_fail : bool;
+  row_result : run_result;
+  row_as_expected : bool;
+}
+
+type outcome = {
+  o_campaign : t;
+  o_plan : Fault_plan.t;
+  o_rows : row list;
+  o_ok : bool;  (** every system behaved as the campaign predicts *)
+}
+
+let dimensions ~quick = if quick then 4, 96_000 else 6, 480_000
+
+let run ?(quick = true) ?seed ?(systems = all_systems) campaign =
+  let n, horizon = dimensions ~quick in
+  let plan = campaign.c_plan ~n ~horizon in
+  let rows =
+    List.map
+      (fun system ->
+        let result = run_plan ?seed ~plan ~system () in
+        let expected_fail = List.mem system campaign.c_expect_fail in
+        let holds = result.rr_verdict.Degradation.holds in
+        {
+          row_system = system;
+          row_expected_fail = expected_fail;
+          row_result = result;
+          row_as_expected = (if expected_fail then not holds else holds);
+        })
+      systems
+  in
+  {
+    o_campaign = campaign;
+    o_plan = plan;
+    o_rows = rows;
+    o_ok = List.for_all (fun r -> r.row_as_expected) rows;
+  }
+
+let pp_row fmt r =
+  let v = r.row_result.rr_verdict in
+  Fmt.pf fmt "%-16s %-6s expected %-6s %s  min tail ops %a"
+    (system_name r.row_system)
+    (if v.Degradation.holds then "holds" else "FAILS")
+    (if r.row_expected_fail then "FAILS" else "holds")
+    (if r.row_as_expected then "[ok]" else "[UNEXPECTED]")
+    Fmt.(option ~none:(any "-") int)
+    (Degradation.min_timely_tail_ops v)
+
+let pp_outcome fmt o =
+  Fmt.pf fmt "campaign %s (%s atom): %s@,%a@,plan:@,%a"
+    o.o_campaign.c_name o.o_campaign.c_atom
+    (if o.o_ok then "as predicted" else "NOT as predicted")
+    Fmt.(list ~sep:cut pp_row)
+    o.o_rows Fault_plan.pp o.o_plan

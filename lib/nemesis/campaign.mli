@@ -1,0 +1,107 @@
+(** Named fault-injection campaigns with graceful-degradation verdicts.
+
+    A campaign is a fault plan shape (instantiated per run size) plus a
+    prediction of which systems violate the TBWF contract under it. Running
+    a campaign builds each system's full stack — Ω∆, the query-abortable
+    object, one counter client per process — compiles the plan into the
+    scheduler/crash/abort hooks, executes to the horizon, and verdicts the
+    tail with {!Tbwf_check.Degradation.check}.
+
+    Each catalogue campaign headlines one fault atom, and each keeps a
+    slowing control on process 0 so that the baselines — whose registers
+    are atomic and therefore blind to the channel-level atoms — have a
+    fault to mishandle: the campaigns double as negative controls showing
+    the checker rejects boosting-style algorithms. *)
+
+(** {2 Systems under test} *)
+
+type system =
+  | Tbwf_atomic  (** Figs 2–3 Ω∆ over atomic registers + Fig 7 (Thm 11–12, 14) *)
+  | Tbwf_abortable  (** Figs 4–6 Ω∆ over abortable registers + Fig 7 (Thm 13) *)
+  | Tbwf_universal
+      (** as [Tbwf_abortable] but with the query-abortable object itself
+          built by the universal QA construction *)
+  | Naive_booster  (** min-pid leader, adaptive timeouts, no punishment *)
+  | Retry  (** obstruction-free retry, no boosting at all *)
+
+val system_name : system -> string
+val system_of_name : string -> (system, string) result
+val paper_systems : system list
+val baseline_systems : system list
+val all_systems : system list
+
+(** {2 Running one plan against one system} *)
+
+type run_result = {
+  rr_system : system;
+  rr_verdict : Tbwf_check.Degradation.verdict;
+  rr_tail_steps : int;
+}
+
+val default_seed : int64
+
+val required_tail_ops : n:int -> tail:int -> int
+(** The default rate floor for a [tail]-step tail with [n] processes: one
+    operation per 1 500(n+1) tail steps, at least 2. The floor sits well
+    below the measured sustained rate of every TBWF system and well above
+    the geometrically rarefying trickle of a booster that has been lured
+    into trusting a decelerating process. *)
+
+val run_plan :
+  ?seed:int64 ->
+  ?min_ops:int ->
+  plan:Fault_plan.t ->
+  system:system ->
+  unit ->
+  run_result
+(** Build the system's stack under [plan]'s compiled abort policies, spawn
+    one counter client per process, install the plan's crashes, run under
+    the plan's policy to the horizon, and check degradation over the tail
+    (the last quarter of the horizon, or from the plan's settle step if
+    that is later). *)
+
+(** {2 The campaign catalogue} *)
+
+type t
+
+val name : t -> string
+val summary : t -> string
+
+val headline_atom : t -> string
+(** The fault-atom kind this campaign exercises ("slow", "timely",
+    "flicker", "crash", "abort-ramp", "staleness"). *)
+
+val expect_fail : t -> system list
+val plan : t -> n:int -> horizon:int -> Fault_plan.t
+
+val catalogue : t list
+(** Six campaigns, at least one per fault atom; every one expects the
+    paper systems to pass and the baselines to fail. *)
+
+val find : string -> t option
+
+val dimensions : quick:bool -> int * int
+(** [(n, horizon)]: (4, 96k) quick, (6, 480k) full. *)
+
+(** {2 Campaign outcomes} *)
+
+type row = {
+  row_system : system;
+  row_expected_fail : bool;
+  row_result : run_result;
+  row_as_expected : bool;
+}
+
+type outcome = {
+  o_campaign : t;
+  o_plan : Fault_plan.t;
+  o_rows : row list;
+  o_ok : bool;  (** every system behaved as the campaign predicts *)
+}
+
+val run : ?quick:bool -> ?seed:int64 -> ?systems:system list -> t -> outcome
+(** [run campaign] (default [quick:true], all systems) instantiates the
+    campaign's plan at {!dimensions} and verdicts every system. *)
+
+val pp_row : Format.formatter -> row -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,397 @@
+open Tbwf_sim
+open Tbwf_registers
+
+type target = Qa | Omega_mesh
+
+let target_name = function Qa -> "qa" | Omega_mesh -> "omega-mesh"
+
+let target_of_name = function
+  | "qa" -> Ok Qa
+  | "omega-mesh" -> Ok Omega_mesh
+  | s -> Error (Fmt.str "bad target %S (want qa | omega-mesh)" s)
+
+type atom =
+  | Crash of { pid : int; at : int }
+  | Slow of { pid : int; at : int; gap : int; growth : float }
+  | Timely of { pid : int; at : int; period : int }
+  | Flicker of { pid : int; at : int; active : int; sleep : int; growth : float }
+  | Abort_ramp of {
+      target : target;
+      from : int;
+      until : int;
+      rate0 : float;
+      rate1 : float;
+    }
+  | Staleness of { from : int; until : int }
+
+type t = { n : int; horizon : int; atoms : atom list }
+
+let magic = "tbwf-plan"
+let version = "v1"
+
+(* --- validation ---------------------------------------------------------- *)
+
+let validate_atom ~n ~horizon atom =
+  let check cond msg = if cond then Ok () else Error msg in
+  let pid_ok pid = check (pid >= 0 && pid < n) (Fmt.str "pid %d out of range" pid) in
+  let step_ok at = check (at >= 0 && at <= horizon) (Fmt.str "step %d outside horizon" at) in
+  let rate_ok r = check (r >= 0.0 && r <= 1.0) (Fmt.str "rate %g outside [0,1]" r) in
+  let ( let* ) = Result.bind in
+  match atom with
+  | Crash { pid; at } ->
+    let* () = pid_ok pid in
+    step_ok at
+  | Slow { pid; at; gap; growth } ->
+    let* () = pid_ok pid in
+    let* () = step_ok at in
+    let* () = check (gap >= 1) "slow: gap must be >= 1" in
+    check (growth >= 1.0) "slow: growth must be >= 1.0"
+  | Timely { pid; at; period } ->
+    let* () = pid_ok pid in
+    let* () = step_ok at in
+    check (period >= 1) "timely: period must be >= 1"
+  | Flicker { pid; at; active; sleep; growth } ->
+    let* () = pid_ok pid in
+    let* () = step_ok at in
+    let* () = check (active >= 1 && sleep >= 1) "flicker: phases must be >= 1" in
+    check (growth >= 1.0) "flicker: growth must be >= 1.0"
+  | Abort_ramp { target = _; from; until; rate0; rate1 } ->
+    let* () = step_ok from in
+    let* () = step_ok until in
+    let* () = check (from <= until) "abort-ramp: from > until" in
+    let* () = rate_ok rate0 in
+    rate_ok rate1
+  | Staleness { from; until } ->
+    let* () = step_ok from in
+    let* () = step_ok until in
+    check (from <= until) "staleness: from > until"
+
+let make ~n ~horizon atoms =
+  if n < 1 then invalid_arg "Fault_plan.make: need at least one process";
+  if horizon < 1 then invalid_arg "Fault_plan.make: horizon must be >= 1";
+  List.iter
+    (fun atom ->
+      match validate_atom ~n ~horizon atom with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Fault_plan.make: " ^ msg))
+    atoms;
+  { n; horizon; atoms }
+
+let n t = t.n
+let horizon t = t.horizon
+let atoms t = t.atoms
+let equal (a : t) (b : t) = a = b
+
+(* --- serialization ------------------------------------------------------- *)
+
+let float_str f = Fmt.str "%.12g" f
+
+let atom_to_string = function
+  | Crash { pid; at } -> Fmt.str "crash pid=%d at=%d" pid at
+  | Slow { pid; at; gap; growth } ->
+    Fmt.str "slow pid=%d at=%d gap=%d growth=%s" pid at gap (float_str growth)
+  | Timely { pid; at; period } ->
+    Fmt.str "timely pid=%d at=%d period=%d" pid at period
+  | Flicker { pid; at; active; sleep; growth } ->
+    Fmt.str "flicker pid=%d at=%d active=%d sleep=%d growth=%s" pid at active
+      sleep (float_str growth)
+  | Abort_ramp { target; from; until; rate0; rate1 } ->
+    Fmt.str "abort-ramp target=%s from=%d until=%d rate0=%s rate1=%s"
+      (target_name target) from until (float_str rate0) (float_str rate1)
+  | Staleness { from; until } -> Fmt.str "staleness from=%d until=%d" from until
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Fmt.str "%s %s n=%d horizon=%d\n" magic version t.n t.horizon);
+  List.iter
+    (fun atom ->
+      Buffer.add_string buf (atom_to_string atom);
+      Buffer.add_char buf '\n')
+    t.atoms;
+  Buffer.contents buf
+
+let pp fmt t = Fmt.string fmt (to_string t)
+
+let fields_of line =
+  String.split_on_char ' ' line
+  |> List.filter (fun f -> String.length f > 0)
+  |> List.filter_map (fun f ->
+         match String.index_opt f '=' with
+         | Some i ->
+           Some (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1))
+         | None -> None)
+
+let field assoc key parse =
+  match List.assoc_opt key assoc with
+  | None -> Error (Fmt.str "missing %s= field" key)
+  | Some s ->
+    (match parse s with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "bad %s= field %S" key s))
+
+let int_field assoc key = field assoc key int_of_string_opt
+let float_field assoc key = field assoc key float_of_string_opt
+
+let atom_of_string line =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' line with
+  | [] -> Error "empty atom line"
+  | kind :: _ ->
+    let assoc = fields_of line in
+    (match kind with
+    | "crash" ->
+      let* pid = int_field assoc "pid" in
+      let* at = int_field assoc "at" in
+      Ok (Crash { pid; at })
+    | "slow" ->
+      let* pid = int_field assoc "pid" in
+      let* at = int_field assoc "at" in
+      let* gap = int_field assoc "gap" in
+      let* growth = float_field assoc "growth" in
+      Ok (Slow { pid; at; gap; growth })
+    | "timely" ->
+      let* pid = int_field assoc "pid" in
+      let* at = int_field assoc "at" in
+      let* period = int_field assoc "period" in
+      Ok (Timely { pid; at; period })
+    | "flicker" ->
+      let* pid = int_field assoc "pid" in
+      let* at = int_field assoc "at" in
+      let* active = int_field assoc "active" in
+      let* sleep = int_field assoc "sleep" in
+      let* growth = float_field assoc "growth" in
+      Ok (Flicker { pid; at; active; sleep; growth })
+    | "abort-ramp" ->
+      let* target = Result.bind (field assoc "target" Option.some) target_of_name in
+      let* from = int_field assoc "from" in
+      let* until = int_field assoc "until" in
+      let* rate0 = float_field assoc "rate0" in
+      let* rate1 = float_field assoc "rate1" in
+      Ok (Abort_ramp { target; from; until; rate0; rate1 })
+    | "staleness" ->
+      let* from = int_field assoc "from" in
+      let* until = int_field assoc "until" in
+      Ok (Staleness { from; until })
+    | kind -> Error (Fmt.str "unknown fault atom %S" kind))
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty plan"
+  | header :: body ->
+    let* n, horizon =
+      match String.split_on_char ' ' header with
+      | m :: v :: _ when String.equal m magic && String.equal v version ->
+        let assoc = fields_of header in
+        let* n = int_field assoc "n" in
+        let* horizon = int_field assoc "horizon" in
+        if n < 1 then Error "bad n= field"
+        else if horizon < 1 then Error "bad horizon= field"
+        else Ok (n, horizon)
+      | m :: v :: _ ->
+        Error (Fmt.str "bad header %S %S (want %S %s)" m v magic version)
+      | _ -> Error "bad header line"
+    in
+    let* atoms =
+      List.fold_left
+        (fun acc line ->
+          let* acc = acc in
+          let* atom = atom_of_string line in
+          let* () = validate_atom ~n ~horizon atom in
+          Ok (atom :: acc))
+        (Ok []) body
+    in
+    Ok { n; horizon; atoms = List.rev atoms }
+
+(* --- prediction ---------------------------------------------------------- *)
+
+let crashed_pids t =
+  List.filter_map (function Crash { pid; _ } -> Some pid | _ -> None) t.atoms
+  |> List.sort_uniq compare
+
+(* The last schedule-affecting atom of [pid]'s timeline decides its final
+   regime; crashes trump everything. *)
+let timeline_atoms t pid =
+  List.filter
+    (function
+      | Slow { pid = p; _ } | Timely { pid = p; _ } | Flicker { pid = p; _ } ->
+        p = pid
+      | Crash _ | Abort_ramp _ | Staleness _ -> false)
+    t.atoms
+  |> List.stable_sort
+       (fun a b ->
+         let at = function
+           | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } -> at
+           | Crash _ | Abort_ramp _ | Staleness _ -> assert false
+         in
+         compare (at a) (at b))
+
+let predicted_timely t =
+  let crashed = crashed_pids t in
+  List.init t.n Fun.id
+  |> List.filter (fun pid ->
+         (not (List.mem pid crashed))
+         &&
+         match List.rev (timeline_atoms t pid) with
+         | [] | Timely _ :: _ -> true
+         | (Slow _ | Flicker _) :: _ -> false
+         | (Crash _ | Abort_ramp _ | Staleness _) :: _ -> assert false)
+
+let settle_step t =
+  let atom_settle = function
+    | Crash { at; _ } | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } ->
+      at
+    | Staleness { until; _ } -> until
+    | Abort_ramp { from; until; _ } ->
+      (* A ramp that persists to the horizon never settles; its steady
+         regime starts at onset. A windowed burst settles when it ends. *)
+      if until >= t.horizon then from else until
+  in
+  List.fold_left (fun acc atom -> max acc (atom_settle atom)) 0 t.atoms
+  |> min t.horizon
+
+let timeliness_bound t = 4 * (t.n + 1)
+
+let prediction t =
+  {
+    Tbwf_check.Degradation.pred_n = t.n;
+    pred_timely = predicted_timely t;
+    pred_from = settle_step t;
+    pred_bound = timeliness_bound t;
+  }
+
+(* --- compilation --------------------------------------------------------- *)
+
+(* Baseline regime: a strict rotation with one spare step per round
+   (period n+1 over n offsets), so soft participants — awake flickering
+   processes — still get scheduled without disturbing anyone's bound. *)
+let base_pattern t pid = Policy.Every { period = t.n + 1; offset = pid }
+
+let pattern_of_atom t = function
+  | Slow { gap; growth; _ } ->
+    (* Burst sized like Scenario.degraded_policy: enough steps per visit
+       that every multiplexed task (election loop, monitors, client) gets
+       at least one, so the process never looks willingly inactive. *)
+    Policy.Slowing { initial_gap = gap; growth; burst = 8 * t.n }
+  | Timely { period; pid; _ } -> Policy.Every { period; offset = pid mod period }
+  | Flicker { active; sleep; growth; _ } -> Policy.Flicker { active; sleep; growth }
+  | Crash _ | Abort_ramp _ | Staleness _ -> assert false
+
+let pattern t pid =
+  List.fold_left
+    (fun before atom ->
+      let at =
+        match atom with
+        | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } -> at
+        | Crash _ | Abort_ramp _ | Staleness _ -> assert false
+      in
+      Policy.Switch_at (at, before, pattern_of_atom t atom))
+    (base_pattern t pid) (timeline_atoms t pid)
+
+let policy ?(name = "nemesis") t =
+  Policy.of_patterns ~name (List.init t.n (fun pid -> pid, pattern t pid))
+
+let install_crashes t rt =
+  List.iter
+    (function
+      | Crash { pid; at } -> Runtime.crash_at rt ~pid ~step:at
+      | Slow _ | Timely _ | Flicker _ | Abort_ramp _ | Staleness _ -> ())
+    t.atoms
+
+let ramp_rate ~from ~until ~rate0 ~rate1 step =
+  if step < from || step >= until then 0.0
+  else if until <= from then rate1
+  else
+    rate0 +. ((rate1 -. rate0) *. float_of_int (step - from)
+              /. float_of_int (until - from))
+
+let abort_policy t ~target ~base =
+  let ramps =
+    List.filter_map
+      (function
+        | Abort_ramp { target = tg; from; until; rate0; rate1 } when tg = target
+          ->
+          Some (fun (ctx : Shared.ctx) ->
+              let rate =
+                ramp_rate ~from ~until ~rate0 ~rate1 ctx.respond_step
+              in
+              rate > 0.0 && Rng.bool ctx.rng rate)
+        | Staleness { from; until } when target = Omega_mesh ->
+          (* A message-staleness burst: writes into the mesh are lost in
+             flight (abort; whether the value still lands is the
+             register's write_effect, as for any abort), so readers keep
+             seeing stale heartbeats. Reads are untouched: the paper's ⊥
+             convention already covers aborted reads. *)
+          Some (fun (ctx : Shared.ctx) ->
+              ctx.respond_step >= from && ctx.respond_step < until
+              && Value.is_write ctx.op)
+        | Crash _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _ | Staleness _
+          ->
+          None)
+      t.atoms
+  in
+  match ramps with
+  | [] -> base
+  | fs ->
+    Abort_policy.Any
+      (base :: List.map (fun f -> Abort_policy.Unconditional f) fs)
+
+(* --- generation and shrinking -------------------------------------------- *)
+
+let gen ?(max_atoms = 3) rng ~n ~horizon =
+  let grid_step () = horizon * (1 + Rng.int rng 6) / 8 in
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  let gen_atom () =
+    match Rng.int rng 6 with
+    | 0 -> Crash { pid = Rng.int rng n; at = grid_step () }
+    | 1 ->
+      Slow
+        {
+          pid = Rng.int rng n;
+          at = grid_step ();
+          gap = pick [| 20; 40; 80 |];
+          growth = pick [| 1.05; 1.15; 1.3 |];
+        }
+    | 2 -> Timely { pid = Rng.int rng n; at = grid_step (); period = n + 1 }
+    | 3 ->
+      Flicker
+        {
+          pid = Rng.int rng n;
+          at = grid_step ();
+          active = pick [| 40; 80 |];
+          sleep = pick [| 100; 200 |];
+          growth = pick [| 1.1; 1.3 |];
+        }
+    | 4 ->
+      let a = grid_step () and b = grid_step () in
+      Abort_ramp
+        {
+          target = pick [| Qa; Omega_mesh |];
+          from = min a b;
+          until = max a b;
+          rate0 = pick [| 0.0; 0.25; 0.5 |];
+          rate1 = pick [| 0.5; 0.75; 0.95 |];
+        }
+    | _ ->
+      let a = grid_step () and b = grid_step () in
+      Staleness { from = min a b; until = max a b }
+  in
+  let count = 1 + Rng.int rng (max 1 max_atoms) in
+  make ~n ~horizon (List.init count (fun _ -> gen_atom ()))
+
+let shrink ~fails t =
+  if t.atoms = [] then t
+  else begin
+    let rebuild atoms = { t with atoms } in
+    let atoms' =
+      Tbwf_check.Shrink.ddmin
+        ~fails:(fun atoms -> fails (rebuild atoms))
+        t.atoms
+    in
+    rebuild atoms'
+  end

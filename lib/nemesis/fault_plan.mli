@@ -1,0 +1,133 @@
+(** Declarative, composable fault plans.
+
+    A fault plan is the nemesis's script: a set of {!atom}s over a fixed
+    process count [n] and step budget [horizon], each atom an independent
+    fault the plan injects at a given step (or over a given window). Plans
+    are pure data — deterministic to compile, cheap to serialize
+    ({!to_string}/{!of_string} round-trip through a compact text format in
+    the style of {!Tbwf_sim.Schedule}), and shrinkable atom-by-atom — so a
+    campaign, a fuzzer counterexample, and a regression test are all the
+    same object.
+
+    Compilation targets the hooks the simulator already has:
+    schedule-affecting atoms ([Slow], [Timely], [Flicker]) compile to a
+    {!Tbwf_sim.Policy} built from [Switch_at] chains over a timely base
+    rotation; [Crash] compiles to {!Tbwf_sim.Runtime.crash_at}; the
+    channel-level atoms ([Abort_ramp], [Staleness]) compile to an
+    {!Tbwf_registers.Abort_policy} wrapper. A plan also predicts its own
+    outcome ({!prediction}): which processes remain timely once the last
+    fault lands — the input to {!Tbwf_check.Degradation.check}. *)
+
+(** Which register family a channel-level atom targets. *)
+type target =
+  | Qa  (** the query-abortable object the clients operate on *)
+  | Omega_mesh  (** the abortable heartbeat/message mesh under Ω∆ *)
+
+val target_name : target -> string
+val target_of_name : string -> (target, string) result
+
+type atom =
+  | Crash of { pid : int; at : int }
+      (** the process halts forever at step [at]; any in-flight operation
+          is resolved by the runtime's crash semantics *)
+  | Slow of { pid : int; at : int; gap : int; growth : float }
+      (** from [at], the process's scheduling gap starts at [gap] and
+          grows by [growth] each visit — a decelerating process, the
+          paper's canonical way to lose timeliness forever *)
+  | Timely of { pid : int; at : int; period : int }
+      (** from [at], the process is scheduled every [period] steps —
+          restores timeliness (a per-process GST) *)
+  | Flicker of { pid : int; at : int; active : int; sleep : int; growth : float }
+      (** from [at], the process alternates bursts of activity with
+          growing sleeps — intermittently timely, eventually not *)
+  | Abort_ramp of {
+      target : target;
+      from : int;
+      until : int;
+      rate0 : float;
+      rate1 : float;
+    }
+      (** over \[[from], [until]), operations on [target] registers abort
+          with probability ramping linearly from [rate0] to [rate1],
+          drawn from the runtime's object stream — faults below the
+          register abstraction, hence unconditional on contention *)
+  | Staleness of { from : int; until : int }
+      (** over \[[from], [until]), writes into the Ω heartbeat mesh abort:
+          heartbeats are lost in flight and readers keep seeing stale
+          values. Reads are untouched ([Omega_mesh]-only by construction). *)
+
+type t
+
+val make : n:int -> horizon:int -> atom list -> t
+(** Validates every atom against [n] and [horizon]; raises
+    [Invalid_argument] with the offending atom's complaint. *)
+
+val n : t -> int
+val horizon : t -> int
+val atoms : t -> atom list
+val equal : t -> t -> bool
+
+(** {2 Serialization}
+
+    Header [tbwf-plan v1 n=<n> horizon=<h>], then one [key=value] line per
+    atom. Blank lines and [#] comments are ignored on input; floats are
+    printed with enough digits ([%.12g]) that
+    [of_string (to_string p) = Ok p]. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+
+(** {2 Prediction} *)
+
+val predicted_timely : t -> int list
+(** Pids expected to be timely in the tail: not crashed, and the last
+    schedule-affecting atom on their timeline (if any) is [Timely]. *)
+
+val settle_step : t -> int
+(** The step after which no further fault changes the system's regime:
+    max over atoms of their onset (point atoms) or end (windowed atoms,
+    except a ramp that persists to the horizon, which settles at onset).
+    The degradation checker examines the tail from here. *)
+
+val timeliness_bound : t -> int
+(** The scheduling-gap bound the compiled policy delivers for timely
+    processes: [4 * (n + 1)] — the base rotation has period [n + 1], and
+    soft steps granted to flickering processes can displace a hard claim
+    by at most a constant factor (see {!Tbwf_sim.Policy}). *)
+
+val prediction : t -> Tbwf_check.Degradation.prediction
+
+(** {2 Compilation} *)
+
+val policy : ?name:string -> t -> Tbwf_sim.Policy.t
+(** The scheduling policy: every pid starts on a timely base rotation
+    [Every {period = n + 1; offset = pid}] (the spare step per round lets
+    soft-claim patterns run), overridden by [Switch_at] chains built from
+    the pid's [Slow]/[Timely]/[Flicker] atoms in onset order. *)
+
+val install_crashes : t -> Tbwf_sim.Runtime.t -> unit
+(** Registers every [Crash] atom via {!Tbwf_sim.Runtime.crash_at}. *)
+
+val abort_policy :
+  t ->
+  target:target ->
+  base:Tbwf_registers.Abort_policy.t ->
+  Tbwf_registers.Abort_policy.t
+(** Wraps [base] with the plan's channel-level atoms for [target]:
+    [Any [base; Unconditional ramp; ...]]. Ramps draw from the context's
+    (object-stream) rng at the interpolated rate; staleness bursts abort
+    mesh writes deterministically. Returns [base] unchanged if no atom
+    targets [target]. *)
+
+(** {2 Generation and shrinking} *)
+
+val gen : ?max_atoms:int -> Tbwf_sim.Rng.t -> n:int -> horizon:int -> t
+(** Random plan with 1..[max_atoms] (default 3) atoms, parameters drawn
+    from tidy grids (onsets on eighths of the horizon, a few gap/growth/
+    rate values) so that shrunk counterexamples stay human-readable. *)
+
+val shrink : fails:(t -> bool) -> t -> t
+(** Delta-debugs the atom list with {!Tbwf_check.Shrink.ddmin}: returns a
+    plan with a 1-minimal subset of atoms on which [fails] still holds
+    ([fails t] must hold on entry; the result may equal [t]). *)

@@ -1,0 +1,74 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_check
+
+let fuzz ?seed ?runs ?(max_atoms = 3) ~n ~horizon ~scenario ~make_runtime () =
+  Explore.fuzz_faults ?seed ?runs
+    ~gen_plan:(fun rng -> Fault_plan.gen ~max_atoms rng ~n ~horizon)
+    ~shrink_plan:Fault_plan.shrink ~max_steps:horizon ~scenario ~make_runtime
+    ()
+
+(* --- the demo scenario ---------------------------------------------------- *)
+
+(* A deliberately buggy writer: it ignores the abort result of an abortable
+   write and records the write as done. Solo, the write can never abort —
+   the register aborts only under contention — so no schedule alone exposes
+   the bug. An [Abort_ramp] atom aborts below the register abstraction,
+   making "write went through" a fiction exactly when a plan says so: the
+   counterexample needs both fuzzing dimensions, and shrinks to a one-atom
+   plan plus a handful of steps. *)
+
+let demo_n = 2
+let demo_seed = 0xDE4003EDL
+
+let demo_make_runtime plan () =
+  let rt = Runtime.create ~seed:demo_seed ~n:demo_n () in
+  Fault_plan.install_crashes plan rt;
+  rt
+
+let demo_scenario plan rt =
+  let policy =
+    Fault_plan.abort_policy plan ~target:Fault_plan.Qa
+      ~base:Abort_policy.Never
+  in
+  let reg =
+    Abortable_reg.create rt ~name:"demo-reg" ~codec:Codec.int ~init:(-1)
+      ~writer:0 ~reader:1 ~policy
+      ~write_effect:Abort_policy.Effect_never ()
+  in
+  let recorded = ref None in
+  Runtime.spawn rt ~pid:0 ~name:"buggy-writer" (fun () ->
+      let k = ref 0 in
+      while true do
+        let v = !k in
+        let (_ : bool) = Abortable_reg.write reg v in
+        (* BUG: the ⊥ result is discarded; an aborted write that did not
+           take effect is still recorded as the current value. *)
+        recorded := Some v;
+        incr k;
+        Runtime.yield ()
+      done);
+  fun () ->
+    match !recorded with
+    | None -> true
+    | Some v -> Abortable_reg.peek reg = v
+
+let demo_replay plan pids =
+  let rt = demo_make_runtime plan () in
+  let invariant = demo_scenario plan rt in
+  let held = ref (invariant ()) in
+  List.iter
+    (fun pid ->
+      if pid >= 0 && Array.exists (fun p -> p = pid) (Runtime.runnable_pids rt)
+      then begin
+        Runtime.step rt ~pid;
+        if not (invariant ()) then held := false
+      end)
+    pids;
+  let fp = Trace.fingerprint (Runtime.trace rt) in
+  Runtime.stop rt;
+  !held, fp
+
+let demo ?seed ?(runs = 200) ~horizon () =
+  fuzz ?seed ~runs ~max_atoms:2 ~n:demo_n ~horizon ~scenario:demo_scenario
+    ~make_runtime:demo_make_runtime ()

@@ -1,0 +1,45 @@
+(** Fuzzing (schedule, fault-plan) pairs.
+
+    {!fuzz} specializes {!Tbwf_check.Explore.fuzz_faults} to
+    {!Fault_plan}: plans are drawn with {!Fault_plan.gen} from the
+    fuzzer's own seeded stream and shrunk with {!Fault_plan.shrink}, so a
+    counterexample is a minimal (pid schedule, plan) pair — both halves
+    serializable ({!Tbwf_sim.Schedule}, {!Fault_plan.to_string}) and
+    replayable byte-for-byte.
+
+    {!demo} runs the harness against a deliberately planted bug: a writer
+    that ignores an abortable write's ⊥ and records the write as done.
+    The register only aborts under contention, and the demo writer runs
+    alone — so the bug is unreachable by schedule fuzzing and surfaces
+    exactly when a fuzzed plan carries an [Abort_ramp] atom: the
+    counterexample genuinely needs both dimensions. *)
+
+val fuzz :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?max_atoms:int ->
+  n:int ->
+  horizon:int ->
+  scenario:(Fault_plan.t -> Tbwf_sim.Runtime.t -> unit -> bool) ->
+  make_runtime:(Fault_plan.t -> unit -> Tbwf_sim.Runtime.t) ->
+  unit ->
+  Fault_plan.t Tbwf_check.Explore.fault_fuzz_outcome
+
+val demo_n : int
+val demo_make_runtime : Fault_plan.t -> unit -> Tbwf_sim.Runtime.t
+val demo_scenario : Fault_plan.t -> Tbwf_sim.Runtime.t -> unit -> bool
+
+val demo :
+  ?seed:int64 ->
+  ?runs:int ->
+  horizon:int ->
+  unit ->
+  Fault_plan.t Tbwf_check.Explore.fault_fuzz_outcome
+(** Fuzz the planted-bug scenario; with the default seed and [runs] it
+    finds, shrinks, and returns a (schedule, one-atom-plan) pair. *)
+
+val demo_replay : Fault_plan.t -> int list -> bool * string
+(** Replay the whole pid schedule against the demo scenario under [plan]
+    (not stopping at a violation) and return whether the invariant held
+    throughout, plus the run's {!Tbwf_sim.Trace.fingerprint} — equal
+    fingerprints across replays are the byte-identical-replay guarantee. *)

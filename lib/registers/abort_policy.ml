@@ -5,20 +5,29 @@ type t =
   | Always
   | Random of float
   | Adversarial of (Shared.ctx -> bool)
+  | Unconditional of (Shared.ctx -> bool)
+  | Any of t list
 
 type write_effect =
   | Effect_never
   | Effect_always
   | Effect_random of float
 
-let should_abort policy ~contended (ctx : Shared.ctx) =
-  if not contended then false
-  else
-    match policy with
-    | Never -> false
-    | Always -> true
-    | Random p -> Rng.bool ctx.rng p
-    | Adversarial f -> f ctx
+let rec should_abort policy ~contended (ctx : Shared.ctx) =
+  match policy with
+  | Unconditional f -> f ctx
+  | Any policies ->
+    List.exists (fun p -> should_abort p ~contended ctx) policies
+  | (Never | Always | Random _ | Adversarial _) as policy ->
+    if not contended then false
+    else begin
+      match policy with
+      | Never -> false
+      | Always -> true
+      | Random p -> Rng.bool ctx.rng p
+      | Adversarial f -> f ctx
+      | Unconditional _ | Any _ -> assert false
+    end
 
 let write_takes_effect effect rng =
   match effect with
@@ -26,8 +35,10 @@ let write_takes_effect effect rng =
   | Effect_always -> true
   | Effect_random p -> Rng.bool rng p
 
-let pp fmt = function
+let rec pp fmt = function
   | Never -> Fmt.string fmt "never"
   | Always -> Fmt.string fmt "always-on-overlap"
   | Random p -> Fmt.pf fmt "random(%.2f)" p
   | Adversarial _ -> Fmt.string fmt "adversarial"
+  | Unconditional _ -> Fmt.string fmt "unconditional"
+  | Any policies -> Fmt.pf fmt "any[%a]" Fmt.(list ~sep:comma pp) policies

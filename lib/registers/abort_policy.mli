@@ -9,9 +9,24 @@
 type t =
   | Never  (** no operation ever aborts (degenerates to atomic) *)
   | Always  (** every overlapped operation aborts — the harshest adversary *)
-  | Random of float  (** an overlapped operation aborts with this probability *)
+  | Random of float
+      (** an overlapped operation aborts with this probability, drawn from
+          the runtime's seeded object stream ([ctx.rng], which is
+          {!Tbwf_sim.Runtime.obj_rng}) — never from ambient randomness, so
+          abort sequences are reproducible from the runtime seed alone *)
   | Adversarial of (Tbwf_sim.Shared.ctx -> bool)
       (** full custom control: return true to abort this overlapped op *)
+  | Unconditional of (Tbwf_sim.Shared.ctx -> bool)
+      (** consulted on {e every} operation, contended or not. This steps
+          outside the paper's register spec (solo operations succeed) on
+          purpose: it models faults {e below} the register abstraction —
+          in the paper's message-passing implementation of abortable
+          registers, a slow or lossy channel surfaces exactly as an abort —
+          and is how fault-injection campaigns ({!Tbwf_nemesis}) express
+          abort-rate ramps and staleness bursts *)
+  | Any of t list
+      (** abort iff any sub-policy says abort: composes a base adversary
+          with injected fault atoms *)
 
 type write_effect =
   | Effect_never  (** aborted writes never take effect *)
@@ -21,8 +36,10 @@ type write_effect =
 val should_abort : t -> contended:bool -> Tbwf_sim.Shared.ctx -> bool
 (** Decide an operation's fate. [contended] is the caller's notion of
     concurrency (registers pass [ctx.overlapped], query-abortable objects
-    pass [ctx.step_contended]); a non-contended operation never aborts,
-    regardless of the policy: solo operations always succeed. *)
+    pass [ctx.step_contended]); a non-contended operation never aborts
+    under the spec-level policies ([Never]/[Always]/[Random]/[Adversarial])
+    — solo operations always succeed. Only [Unconditional] (a modelled
+    fault below the register) can abort a solo operation. *)
 
 val write_takes_effect : write_effect -> Tbwf_sim.Rng.t -> bool
 

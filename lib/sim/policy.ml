@@ -233,14 +233,43 @@ let of_script script =
 
 let branching_of_script t = List.rev !(t.script_branching)
 
-let replay pids =
+exception
+  Replay_mismatch of { step : int; pid : int; runnable : int array }
+
+(* Shared core of the replay family. [on_mismatch] decides what happens when
+   a recorded non-idle pid is not runnable at its step: the lenient variant
+   lets the step pass idle (so shrunk/foreign schedules stay executable),
+   the strict one raises, the counting one increments a counter. *)
+let replay_with ~name ~on_mismatch pids =
   let remaining = ref pids in
-  let next ~step:_ ~runnable ~rng:_ =
+  let next ~step ~runnable ~rng:_ =
     match !remaining with
     | [] -> None
     | pid :: rest ->
       remaining := rest;
       if pid >= 0 && mem pid runnable then Some pid
-      else None (* recorded idle step, or a diverging replay: stay aligned *)
+      else begin
+        if pid >= 0 then on_mismatch ~step ~pid ~runnable;
+        None (* recorded idle step, or a diverging replay: stay aligned *)
+      end
   in
-  { name = "replay"; next; script_branching = ref [] }
+  { name; next; script_branching = ref [] }
+
+let replay pids =
+  replay_with ~name:"replay" ~on_mismatch:(fun ~step:_ ~pid:_ ~runnable:_ -> ())
+    pids
+
+let replay_strict pids =
+  replay_with ~name:"replay-strict"
+    ~on_mismatch:(fun ~step ~pid ~runnable ->
+      raise (Replay_mismatch { step; pid; runnable }))
+    pids
+
+let replay_counting pids =
+  let mismatches = ref 0 in
+  let t =
+    replay_with ~name:"replay-counting"
+      ~on_mismatch:(fun ~step:_ ~pid:_ ~runnable:_ -> incr mismatches)
+      pids
+  in
+  t, fun () -> !mismatches

@@ -81,4 +81,27 @@ val replay : int list -> t
     runtime reproduces the original run byte for byte. An entry whose pid
     is not currently runnable — only possible when the schedule came from a
     {e different} scenario — is treated as idle so the step numbering stays
-    aligned. Once the list is exhausted, returns [None] forever. *)
+    aligned. Once the list is exhausted, returns [None] forever.
+
+    That leniency is what schedule shrinking needs, but it also means a
+    counterexample replayed against code that has drifted since it was
+    recorded can silently diverge into a passing run. Use {!replay_strict}
+    or {!replay_counting} when a mismatch should be loud. *)
+
+exception
+  Replay_mismatch of { step : int; pid : int; runnable : int array }
+(** Raised by a {!replay_strict} policy when the recorded [pid] is not
+    runnable at [step] ([runnable] is what was). *)
+
+val replay_strict : int list -> t
+(** Like {!replay}, but a recorded non-idle pid that is not runnable raises
+    {!Replay_mismatch} instead of passing idle: replaying a committed
+    counterexample against drifted code fails loudly instead of quietly
+    checking a different schedule. Recorded idle steps (-1) never
+    mismatch. *)
+
+val replay_counting : int list -> t * (unit -> int)
+(** Like {!replay}, but returns the policy together with a live counter of
+    mismatched steps (recorded non-idle pids that were not runnable and so
+    passed idle). A nonzero count after a replay means the executed
+    schedule was not the recorded one. *)

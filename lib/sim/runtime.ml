@@ -34,6 +34,7 @@ type proc = {
 type t = {
   num : int;
   rng : Rng.t;
+  obj_rng : Rng.t;
   trace : Trace.t;
   procs : proc array;
   mutable step : int;
@@ -55,6 +56,12 @@ let create ?(seed = 0xC0FFEEL) ~n () =
   {
     num = n;
     rng = Rng.create seed;
+    (* A stream of its own, derived from the seed: object-level random
+       decisions (abort draws, safe-register garbage, write effects) must
+       not share the scheduling policy's stream, or a replayed schedule —
+       which consumes no scheduling randomness — would shift every object
+       draw and diverge from the run it replays. *)
+    obj_rng = Rng.create (Int64.logxor seed 0x6F626A5F726E6721L);
     trace = Trace.create ();
     procs = Array.init n (fun pid -> { pid; tasks = []; next_task = 0; is_crashed = false });
     step = 0;
@@ -67,6 +74,7 @@ let create ?(seed = 0xC0FFEEL) ~n () =
 
 let n t = t.num
 let rng t = t.rng
+let obj_rng t = t.obj_rng
 let trace t = t.trace
 let now t = t.step
 
@@ -136,7 +144,7 @@ let respond_pending t pend =
       overlap_ops = pend.p_overlap_ops;
       step_contended;
       pending_others = remaining;
-      rng = t.rng;
+      rng = t.obj_rng;
       op = pend.p_op;
     }
   in

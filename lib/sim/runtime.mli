@@ -23,7 +23,20 @@ val create : ?seed:int64 -> n:int -> unit -> t
 (** [create ~n ()] makes a runtime with processes 0..n-1 and no tasks. *)
 
 val n : t -> int
+
 val rng : t -> Rng.t
+(** The scheduling stream: consumed by policies (via {!run}) and nothing
+    else. *)
+
+val obj_rng : t -> Rng.t
+(** The object stream, seeded independently of {!rng} from the same seed:
+    every random decision made inside a shared object's [respond] (abort
+    draws, write effects, safe-register garbage) comes from here, in
+    response order. Keeping the two streams separate is what makes a
+    schedule replay ({!Policy.replay}) byte-identical to the original run:
+    replay consumes no scheduling randomness, and object draws depend only
+    on the response order, which the schedule fixes. *)
+
 val trace : t -> Trace.t
 
 val now : t -> int

@@ -71,6 +71,25 @@ let ops_from t mark =
 
 let iter_ops t f = List.iter f (List.rev t.events)
 
+let fingerprint t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "sched:";
+  Array.iter
+    (fun pid ->
+      Buffer.add_string buf (string_of_int pid);
+      Buffer.add_char buf ',')
+    (Array.sub t.steps 0 t.len);
+  Buffer.add_string buf "\nops:\n";
+  iter_ops t (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %s %s %s\n" ev.step ev.pid ev.obj_id
+           ev.obj_name
+           (Value.to_string ev.op)
+           (match ev.phase with
+           | `Invoke -> "I"
+           | `Respond r -> "R " ^ Value.to_string r)));
+  Buffer.contents buf
+
 let writes_in_window t ~obj_prefix ~from_step ~to_step =
   let counts = Hashtbl.create 16 in
   let prefix_matches name =

@@ -56,6 +56,13 @@ val ops_from : t -> int -> op_event list
 
 val iter_ops : t -> (op_event -> unit) -> unit
 
+val fingerprint : t -> string
+(** A canonical rendering of the whole trace — every scheduler step and
+    every operation event, operands and results included. Two runs are
+    byte-identical iff their fingerprints are equal, which is how
+    replay determinism (same seed, same plan, same schedule ⇒ same run)
+    is asserted without diffing structures field by field. *)
+
 val writes_in_window : t -> obj_prefix:string -> from_step:int -> to_step:int -> (int, int) Hashtbl.t
 (** Count successful shared-register write responses per pid in the given
     step window, restricted to objects whose name starts with [obj_prefix].

@@ -147,14 +147,33 @@ let test_e15 () =
         true f.E15_exploration.minimal_replays)
     r.E15_exploration.fuzz_rows
 
+let test_e16 () =
+  let r = E16_nemesis.compute ~quick:true () in
+  Alcotest.(check bool) "degradation matrix fully as predicted" true
+    r.E16_nemesis.all_ok;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (system, cell) ->
+          let expect_holds =
+            List.mem system Tbwf_nemesis.Campaign.paper_systems
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s verdict"
+               row.E16_nemesis.campaign
+               (Tbwf_nemesis.Campaign.system_name system))
+            expect_holds cell.E16_nemesis.holds)
+        row.E16_nemesis.cells)
+    r.E16_nemesis.rows
+
 let test_registry_complete () =
-  Alcotest.(check int) "fifteen experiments registered" 15
+  Alcotest.(check int) "sixteen experiments registered" 16
     (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) (Fmt.str "%s findable" id) true
         (Registry.find id <> None))
-    [ "E1"; "e1"; "E5"; "E15" ];
+    [ "E1"; "e1"; "E5"; "E15"; "E16" ];
   Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
 
 let () =
@@ -177,6 +196,7 @@ let () =
           Alcotest.test_case "E13 detectors" `Slow test_e13;
           Alcotest.test_case "E14 GST" `Slow test_e14;
           Alcotest.test_case "E15 exploration" `Slow test_e15;
+          Alcotest.test_case "E16 nemesis matrix" `Slow test_e16;
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
         ] );
     ]

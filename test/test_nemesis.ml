@@ -1,0 +1,240 @@
+(* The nemesis subsystem: fault-plan serialization, compiled-plan
+   determinism, campaign verdicts, and the planted-bug fuzz demo. *)
+
+open Tbwf_sim
+open Tbwf_nemesis
+
+(* One atom of every kind, exercising every field of the text format. *)
+let kitchen_sink =
+  Fault_plan.make ~n:4 ~horizon:10_000
+    [
+      Fault_plan.Crash { pid = 3; at = 7_000 };
+      Fault_plan.Slow { pid = 0; at = 0; gap = 60; growth = 1.15 };
+      Fault_plan.Timely { pid = 1; at = 5_000; period = 5 };
+      Fault_plan.Flicker
+        { pid = 2; at = 1_000; active = 80; sleep = 200; growth = 1.3 };
+      Fault_plan.Abort_ramp
+        {
+          target = Fault_plan.Qa;
+          from = 2_500;
+          until = 7_500;
+          rate0 = 0.5;
+          rate1 = 0.9;
+        };
+      Fault_plan.Staleness { from = 2_500; until = 7_500 };
+    ]
+
+let test_round_trip () =
+  let text = Fault_plan.to_string kitchen_sink in
+  match Fault_plan.of_string text with
+  | Error msg -> Alcotest.failf "kitchen sink failed to parse: %s" msg
+  | Ok plan ->
+    Alcotest.(check bool) "round-trips exactly" true
+      (Fault_plan.equal kitchen_sink plan);
+    Alcotest.(check string) "second serialization identical" text
+      (Fault_plan.to_string plan)
+
+let test_comments_and_blanks () =
+  let text = Fault_plan.to_string kitchen_sink in
+  let sprinkled =
+    String.concat "\n"
+      (List.concat_map
+         (fun line -> [ "# a comment"; ""; line ])
+         (String.split_on_char '\n' text))
+  in
+  match Fault_plan.of_string sprinkled with
+  | Error msg -> Alcotest.failf "comments broke parsing: %s" msg
+  | Ok plan ->
+    Alcotest.(check bool) "comments and blanks ignored" true
+      (Fault_plan.equal kitchen_sink plan)
+
+let test_rejects_garbage () =
+  let bad text =
+    match Fault_plan.of_string text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "wrong magic" true (bad "tbwf-sched v1 n=2\n");
+  Alcotest.(check bool) "bad atom kind" true
+    (bad "tbwf-plan v1 n=2 horizon=100\nmelt pid=0 at=3\n");
+  Alcotest.(check bool) "out-of-range pid" true
+    (bad "tbwf-plan v1 n=2 horizon=100\ncrash pid=7 at=3\n")
+
+let test_prediction () =
+  Alcotest.(check (list int))
+    "slow and crashed pids excluded, timely-restored included" [ 1 ]
+    (Fault_plan.predicted_timely kitchen_sink);
+  Alcotest.(check int) "settles at the last fault" 7_500
+    (Fault_plan.settle_step kitchen_sink)
+
+let qcheck_gen_round_trip =
+  QCheck.Test.make ~name:"generated plans round-trip through text" ~count:200
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let plan = Fault_plan.gen rng ~n:4 ~horizon:8_000 in
+      match Fault_plan.of_string (Fault_plan.to_string plan) with
+      | Error _ -> false
+      | Ok plan' -> Fault_plan.equal plan plan')
+
+(* Satellite 4: one (seed, plan, scenario) must produce byte-identical
+   traces on repeated runs. The scenario exercises every compilation
+   surface: the plan's policy drives the schedule, its crashes are
+   installed, and both channel-level targets get plan-wrapped abort
+   policies over registers the tasks hammer. *)
+let fingerprint_run ~seed plan =
+  let n = Fault_plan.n plan in
+  let rt = Runtime.create ~seed ~n () in
+  let open Tbwf_registers in
+  let qa =
+    Abortable_reg.create rt ~name:"qa-reg" ~codec:Codec.int ~init:0 ~writer:0
+      ~reader:1
+      ~policy:(Fault_plan.abort_policy plan ~target:Fault_plan.Qa
+                 ~base:Abort_policy.Always)
+      ()
+  in
+  let mesh =
+    Abortable_reg.create rt ~name:"hb-mesh" ~codec:Codec.int ~init:0 ~writer:2
+      ~reader:0
+      ~policy:(Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
+                 ~base:Abort_policy.Always)
+      ()
+  in
+  Runtime.spawn rt ~pid:0 ~name:"w" (fun () ->
+      let k = ref 0 in
+      while true do
+        incr k;
+        ignore (Abortable_reg.write qa !k);
+        ignore (Abortable_reg.read mesh)
+      done);
+  Runtime.spawn rt ~pid:1 ~name:"r" (fun () ->
+      while true do
+        ignore (Abortable_reg.read qa)
+      done);
+  Runtime.spawn rt ~pid:2 ~name:"hb" (fun () ->
+      let k = ref 0 in
+      while true do
+        incr k;
+        ignore (Abortable_reg.write mesh !k)
+      done);
+  Fault_plan.install_crashes plan rt;
+  Runtime.run rt ~policy:(Fault_plan.policy plan)
+    ~steps:(Fault_plan.horizon plan);
+  let fp = Trace.fingerprint (Runtime.trace rt) in
+  Runtime.stop rt;
+  fp
+
+let qcheck_deterministic_replay =
+  QCheck.Test.make
+    ~name:"same (seed, plan, scenario) gives byte-identical traces"
+    ~count:40
+    QCheck.(pair (int_range 1 100_000) (int_range 1 100_000))
+    (fun (seed, plan_seed) ->
+      let rng = Rng.create (Int64.of_int plan_seed) in
+      let plan = Fault_plan.gen rng ~n:3 ~horizon:2_000 in
+      let seed = Int64.of_int seed in
+      String.equal (fingerprint_run ~seed plan) (fingerprint_run ~seed plan))
+
+(* A plan parsed back from its serialization compiles identically too. *)
+let qcheck_serialized_plan_replays =
+  QCheck.Test.make
+    ~name:"serialized plan replays byte-identically" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun plan_seed ->
+      let rng = Rng.create (Int64.of_int plan_seed) in
+      let plan = Fault_plan.gen rng ~n:3 ~horizon:2_000 in
+      match Fault_plan.of_string (Fault_plan.to_string plan) with
+      | Error _ -> false
+      | Ok plan' ->
+        String.equal
+          (fingerprint_run ~seed:42L plan)
+          (fingerprint_run ~seed:42L plan'))
+
+(* Campaign smoke: the headline campaign separates a paper system from the
+   naive booster at quick dimensions, and the degradation checker agrees
+   with both predictions. *)
+let test_campaign_smoke () =
+  match Campaign.find "slowdown" with
+  | None -> Alcotest.fail "slowdown campaign missing from catalogue"
+  | Some c ->
+    let o =
+      Campaign.run ~quick:true
+        ~systems:[ Campaign.Tbwf_atomic; Campaign.Naive_booster ] c
+    in
+    Alcotest.(check bool) "both verdicts as predicted" true o.Campaign.o_ok;
+    List.iter
+      (fun r ->
+        let holds =
+          r.Campaign.row_result.Campaign.rr_verdict
+            .Tbwf_check.Degradation.holds
+        in
+        match r.Campaign.row_system with
+        | Campaign.Tbwf_atomic ->
+          Alcotest.(check bool) "tbwf-atomic holds" true holds
+        | Campaign.Naive_booster ->
+          Alcotest.(check bool) "naive booster fails" false holds
+        | _ -> ())
+      o.Campaign.o_rows
+
+let test_catalogue_covers_every_atom () =
+  let atoms =
+    List.sort_uniq compare (List.map Campaign.headline_atom Campaign.catalogue)
+  in
+  Alcotest.(check (list string))
+    "one campaign per fault atom"
+    [ "abort-ramp"; "crash"; "flicker"; "slow"; "staleness"; "timely" ]
+    atoms;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Fmt.str "%s expects every baseline to fail" (Campaign.name c))
+        true
+        (List.for_all
+           (fun s -> List.mem s (Campaign.expect_fail c))
+           Campaign.baseline_systems))
+    Campaign.catalogue
+
+(* The fuzz demo: the planted bug needs both fuzz dimensions (a plan with
+   an abort ramp AND a schedule that runs the writer), the shrunk plan
+   still fails, and it replays byte-identically from its serialization. *)
+let test_fuzz_demo () =
+  let outcome = Plan_fuzz.demo ~seed:0xF001L ~runs:200 ~horizon:400 () in
+  match outcome.Tbwf_check.Explore.plan_counterexample with
+  | None -> Alcotest.fail "fuzz did not find the planted bug"
+  | Some (pids, plan) ->
+    let held, fp = Plan_fuzz.demo_replay plan pids in
+    Alcotest.(check bool) "shrunk counterexample still violates" false held;
+    (match Fault_plan.of_string (Fault_plan.to_string plan) with
+    | Error msg -> Alcotest.failf "shrunk plan failed to parse: %s" msg
+    | Ok plan' ->
+      let held', fp' = Plan_fuzz.demo_replay plan' pids in
+      Alcotest.(check bool) "parsed plan violates too" false held';
+      Alcotest.(check string) "byte-identical replay" fp fp')
+
+let () =
+  Alcotest.run "nemesis"
+    [
+      ( "fault plans",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_comments_and_blanks;
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+          Alcotest.test_case "prediction" `Quick test_prediction;
+          QCheck_alcotest.to_alcotest qcheck_gen_round_trip;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest qcheck_deterministic_replay;
+          QCheck_alcotest.to_alcotest qcheck_serialized_plan_replays;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "catalogue covers every atom" `Quick
+            test_catalogue_covers_every_atom;
+          Alcotest.test_case "slowdown separates systems" `Slow
+            test_campaign_smoke;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "planted bug found and replayed" `Quick
+            test_fuzz_demo ] );
+    ]

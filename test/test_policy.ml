@@ -137,6 +137,47 @@ let test_switch_at () =
   Alcotest.(check bool) "ran before switch" true (List.length before > 0);
   Alcotest.(check (list (option int))) "silent after switch" [] after
 
+let test_replay_lenient_vs_strict () =
+  let rng = Rng.create 3L in
+  (* Recorded pid 1 is not runnable at step 1: lenient passes idle, strict
+     raises, counting reports one mismatch. *)
+  let sched = [ 0; 1; 0 ] in
+  let lenient = Policy.replay sched in
+  Alcotest.(check (option int)) "lenient step 0" (Some 0)
+    (Policy.next lenient ~step:0 ~runnable:[| 0; 2 |] ~rng);
+  Alcotest.(check (option int)) "lenient mismatch passes idle" None
+    (Policy.next lenient ~step:1 ~runnable:[| 0; 2 |] ~rng);
+  let strict = Policy.replay_strict sched in
+  Alcotest.(check (option int)) "strict step 0" (Some 0)
+    (Policy.next strict ~step:0 ~runnable:[| 0; 2 |] ~rng);
+  (match Policy.next strict ~step:1 ~runnable:[| 0; 2 |] ~rng with
+  | exception Policy.Replay_mismatch { step; pid; runnable } ->
+    Alcotest.(check int) "mismatch step" 1 step;
+    Alcotest.(check int) "mismatch pid" 1 pid;
+    Alcotest.(check (array int)) "mismatch runnable" [| 0; 2 |] runnable
+  | _ -> Alcotest.fail "strict replay should raise on drift");
+  let counting, mismatches = Policy.replay_counting sched in
+  ignore (Policy.next counting ~step:0 ~runnable:[| 0; 2 |] ~rng);
+  ignore (Policy.next counting ~step:1 ~runnable:[| 0; 2 |] ~rng);
+  ignore (Policy.next counting ~step:2 ~runnable:[| 0; 2 |] ~rng);
+  Alcotest.(check int) "one mismatch counted" 1 (mismatches ())
+
+let test_replay_strict_faithful () =
+  (* On the scenario it was recorded from, strict replay never raises and
+     recorded idle steps stay idle. *)
+  let rng = Rng.create 4L in
+  let sched = [ 0; -1; 1; 0 ] in
+  let strict = Policy.replay_strict sched in
+  let choices =
+    List.mapi
+      (fun step _ -> Policy.next strict ~step ~runnable:[| 0; 1 |] ~rng)
+      sched
+  in
+  Alcotest.(check (list (option int)))
+    "faithful replay" [ Some 0; None; Some 1; Some 0 ] choices;
+  Alcotest.(check (option int)) "exhausted schedule idles" None
+    (Policy.next strict ~step:4 ~runnable:[| 0; 1 |] ~rng)
+
 let test_solo_after () =
   let policy = Policy.solo_after ~n:3 ~pid:2 ~step:50 in
   let choices = run_policy policy ~runnable:[ 0; 1; 2 ] ~steps:200 in
@@ -166,6 +207,10 @@ let () =
           Alcotest.test_case "slowing burst" `Quick test_slowing_burst;
           Alcotest.test_case "silent never runs" `Quick test_silent_never_runs;
           Alcotest.test_case "switch_at" `Quick test_switch_at;
+          Alcotest.test_case "replay lenient vs strict" `Quick
+            test_replay_lenient_vs_strict;
+          Alcotest.test_case "replay strict faithful" `Quick
+            test_replay_strict_faithful;
           Alcotest.test_case "solo_after" `Quick test_solo_after;
         ] );
     ]
