@@ -5,13 +5,19 @@
       of the paper's claims; see EXPERIMENTS.md). Pass --full for the
       full-size configurations (minutes), default is quick (seconds).
    2. Bechamel micro-benchmarks, one Test.make per experiment workload and
-      one per stack layer, measuring wall-clock cost per execution. *)
+      one per stack layer, measuring wall-clock cost per execution.
+
+   With --json the harness instead times every experiment and the
+   per-layer throughput runs and writes the results to BENCH_<date>.json
+   (machine-readable; includes the telemetry-overhead ratio between the
+   nil-sink and collector-attached TBWF workloads). *)
 
 open Bechamel
 open Bechamel.Toolkit
 
 let quick = not (Array.exists (String.equal "--full") Sys.argv)
 let skip_micro = Array.exists (String.equal "--tables-only") Sys.argv
+let json_mode = Array.exists (String.equal "--json") Sys.argv
 
 (* --- part 1: evaluation tables ------------------------------------------ *)
 
@@ -103,7 +109,84 @@ let report raw =
       Fmt.pr "%-45s %15s@." name pretty)
     rows
 
-let () =
+(* --- part 3: machine-readable run (--json) ------------------------------- *)
+
+let drop_fmt =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let run_json () =
+  let open Tbwf_telemetry in
+  (* Per-experiment wall time; table output is discarded. *)
+  let experiments =
+    List.map
+      (fun entry ->
+        let start = Unix.gettimeofday () in
+        entry.Tbwf_experiments.Registry.run ~quick drop_fmt;
+        let seconds = Unix.gettimeofday () -. start in
+        Fmt.pr "%-4s %6.2fs@." entry.Tbwf_experiments.Registry.id seconds;
+        Json.Obj
+          [
+            "id", Json.Str entry.Tbwf_experiments.Registry.id;
+            "title", Json.Str entry.Tbwf_experiments.Registry.title;
+            "seconds", Json.Float seconds;
+          ])
+      Tbwf_experiments.Registry.all
+  in
+  (* Per-layer step throughput, including the telemetry overhead pair. *)
+  let throughput = Tbwf_experiments.E10_throughput.compute ~quick () in
+  let rows = throughput.Tbwf_experiments.E10_throughput.rows in
+  let row_json r =
+    let open Tbwf_experiments.E10_throughput in
+    Json.Obj
+      [
+        "layer", Json.Str r.layer;
+        "steps", Json.Int r.steps;
+        "seconds", Json.Float r.seconds;
+        "steps_per_sec", Json.Float r.steps_per_sec;
+      ]
+  in
+  let rate layer =
+    List.find_map
+      (fun r ->
+        let open Tbwf_experiments.E10_throughput in
+        if String.equal r.layer layer then Some r.steps_per_sec else None)
+      rows
+  in
+  let overhead =
+    match rate "full TBWF op (election + QA)",
+          rate "full TBWF op + live telemetry" with
+    | Some nil, Some live when live > 0.0 ->
+      Json.Obj
+        [
+          "nil_sink_steps_per_sec", Json.Float nil;
+          "collector_steps_per_sec", Json.Float live;
+          "live_cost_ratio", Json.Float (nil /. live);
+        ]
+    | _ -> Json.Null
+  in
+  let date =
+    let tm = Unix.localtime (Unix.time ()) in
+    Fmt.str "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let doc =
+    Json.Obj
+      [
+        "schema", Json.Str "tbwf-bench/v1";
+        "date", Json.Str date;
+        "mode", Json.Str (if quick then "quick" else "full");
+        "experiments", Json.Arr experiments;
+        "throughput", Json.Arr (List.map row_json rows);
+        "telemetry_overhead", overhead;
+      ]
+  in
+  let path = Fmt.str "BENCH_%s.json" date in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let run_all_parts () =
   run_tables ();
   if not skip_micro then begin
     Fmt.pr
@@ -114,3 +197,5 @@ let () =
     Fmt.pr "@.[experiment harness cost per full (quick) run]@.";
     report (benchmark experiment_tests)
   end
+
+let () = if json_mode then run_json () else run_all_parts ()

@@ -1,22 +1,43 @@
 (* Run the experiment suite: all tables from EXPERIMENTS.md, or a single
-   experiment by id. *)
+   experiment by id. Each experiment reports its own wall-clock elapsed
+   time, and a total is printed at the end. *)
 
 open Cmdliner
 
 let run quick ids =
   let fmt = Fmt.stdout in
-  (match ids with
-  | [] -> Tbwf_experiments.Registry.run_all ~quick fmt
-  | ids ->
-    List.iter
-      (fun id ->
-        match Tbwf_experiments.Registry.find id with
-        | Some entry ->
+  let timed entry =
+    let start = Unix.gettimeofday () in
+    entry.Tbwf_experiments.Registry.run ~quick fmt;
+    let elapsed = Unix.gettimeofday () -. start in
+    Fmt.pf fmt "[%s: %.2fs]@." entry.Tbwf_experiments.Registry.id elapsed;
+    elapsed
+  in
+  let entries =
+    match ids with
+    | [] -> List.map Result.ok Tbwf_experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Tbwf_experiments.Registry.find id with
+          | Some entry -> Ok entry
+          | None -> Error id)
+        ids
+  in
+  let total =
+    List.fold_left
+      (fun total entry ->
+        match entry with
+        | Ok entry ->
           Fmt.pf fmt "@.=== %s: %s ===@." entry.Tbwf_experiments.Registry.id
             entry.Tbwf_experiments.Registry.title;
-          entry.Tbwf_experiments.Registry.run ~quick fmt
-        | None -> Fmt.epr "unknown experiment %S (known: E1..E16)@." id)
-      ids);
+          total +. timed entry
+        | Error id ->
+          Fmt.epr "unknown experiment %S (known: E1..E16)@." id;
+          total)
+      0.0 entries
+  in
+  if List.length entries > 1 then Fmt.pf fmt "@.[total: %.2fs]@." total;
   Fmt.flush fmt ()
 
 let quick =

@@ -1,0 +1,309 @@
+(* Telemetry CLI: run a scenario or a serialized fault plan with a
+   telemetry collector attached, and render what the collector saw — a
+   human summary (`run`), an ASCII leader/progress timeline (`timeline`),
+   or the deterministic JSON snapshot (`export`).
+
+   Scenario mode reproduces E1's configuration exactly (same builder,
+   policy and per-k seed), so `export --k 4` reports the same per-pid op
+   counts and leader-epoch count as E1's table row for k = 4. Plan mode
+   accepts any tbwf-plan file and runs it through the nemesis campaign
+   runner, so a committed counterexample can be inspected with the same
+   lenses. `export --check-schema` pins the snapshot's key-path schema
+   against a committed golden file; CI uses it to catch export drift. *)
+
+open Cmdliner
+open Tbwf_experiments
+open Tbwf_objects
+open Tbwf_core
+open Tbwf_nemesis
+open Tbwf_telemetry
+
+let fmt = Fmt.stdout
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* --- sources ------------------------------------------------------------- *)
+
+(* What to run: either the E1-style degraded scenario, or a tbwf-plan file
+   against one nemesis system. Either way the result is a collector plus a
+   one-line description of the run. *)
+
+type run = {
+  telemetry : Collector.t;
+  describe : string;
+  verdict : string option;  (* plan runs carry a degradation verdict *)
+}
+
+let run_scenario ~n ~k ~steps ~seed ~window =
+  let timely = List.init k (fun i -> n - 1 - i) in
+  let stack =
+    Scenario.build ~seed ~n ~omega:Scenario.Omega_atomic ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:(List.init n Fun.id) ()
+  in
+  let telemetry = Collector.attach ~window stack.Scenario.rt in
+  let policy = Scenario.degraded_policy ~n ~timely () in
+  Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps;
+  Tbwf_sim.Runtime.stop stack.Scenario.rt;
+  {
+    telemetry;
+    describe =
+      Fmt.str
+        "scenario: TBWF counter (atomic-register Ω∆), n=%d, k=%d timely \
+         (pids %a), %d steps, seed %Ld"
+        n k
+        Fmt.(brackets (list ~sep:comma int))
+        timely steps seed;
+    verdict = None;
+  }
+
+let run_plan_file ~path ~system ~seed =
+  match Fault_plan.of_string (read_file path) with
+  | Error msg -> Error (Fmt.str "bad plan file %s: %s" path msg)
+  | Ok plan ->
+    let r = Campaign.run_plan ~seed ~plan ~system () in
+    let v = r.Campaign.rr_verdict in
+    Ok
+      {
+        telemetry = r.Campaign.rr_telemetry;
+        describe =
+          Fmt.str "plan: %s (%d atoms, n=%d, horizon=%d) vs %s, seed %Ld"
+            path
+            (List.length (Fault_plan.atoms plan))
+            (Fault_plan.n plan) (Fault_plan.horizon plan)
+            (Campaign.system_name system)
+            seed;
+        verdict =
+          Some
+            (Fmt.str "degradation %s; measured tail ops/pid %a"
+               (if v.Tbwf_check.Degradation.holds then "holds" else "FAILS")
+               Fmt.(brackets (array ~sep:comma int))
+               r.Campaign.rr_tail_ops);
+      }
+
+(* Quick dimensions are E1's quick dimensions; the default seed is E1's
+   per-k seed so the exported numbers line up with its table. *)
+let resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window =
+  match plan with
+  | Some path -> (
+    match Campaign.system_of_name system with
+    | Error msg -> Error msg
+    | Ok system ->
+      let seed =
+        match seed with
+        | Some s -> Int64.of_int s
+        | None -> Campaign.default_seed
+      in
+      run_plan_file ~path ~system ~seed)
+  | None ->
+    let n = Option.value n ~default:(if full then 8 else 4) in
+    let k = Option.value k ~default:n in
+    if k < 0 || k > n then Error (Fmt.str "--k must be in 0..%d" n)
+    else begin
+      let steps =
+        Option.value steps ~default:(if full then 240_000 else 60_000)
+      in
+      let seed =
+        match seed with
+        | Some s -> Int64.of_int s
+        | None -> Int64.of_int (1000 + k)
+      in
+      Ok (run_scenario ~n ~k ~steps ~seed ~window)
+    end
+
+let with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
+  match resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    2
+  | Ok run -> f run
+
+(* --- subcommands ---------------------------------------------------------- *)
+
+let run_cmd_impl plan system full n k steps seed window width =
+  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+  Fmt.pf fmt "%s@." run.describe;
+  Option.iter (Fmt.pf fmt "%s@.") run.verdict;
+  Fmt.pf fmt "@.%a@." Collector.pp_summary run.telemetry;
+  Fmt.pf fmt "%a" Timeline.pp (Timeline.build ~width run.telemetry);
+  Fmt.flush fmt ();
+  0
+
+let timeline_cmd_impl plan system full n k steps seed window width =
+  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+  Fmt.pf fmt "%s@.@.%a" run.describe Timeline.pp
+    (Timeline.build ~width run.telemetry);
+  Fmt.flush fmt ();
+  0
+
+let export_cmd_impl plan system full n k steps seed window pretty out
+    check_schema write_schema =
+  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+  let snapshot = Collector.snapshot run.telemetry in
+  let text =
+    if pretty then Json.to_string_pretty snapshot
+    else Json.to_string snapshot ^ "\n"
+  in
+  (match out with
+  | Some path ->
+    write_file path text;
+    Fmt.epr "snapshot written to %s@." path
+  | None -> print_string text);
+  (match write_schema with
+  | Some path ->
+    write_file path (Json.schema_string snapshot);
+    Fmt.epr "schema written to %s@." path
+  | None -> ());
+  match check_schema with
+  | None -> 0
+  | Some path ->
+    let golden = read_file path in
+    let actual = Json.schema_string snapshot in
+    if String.equal golden actual then begin
+      Fmt.epr "schema matches %s@." path;
+      0
+    end
+    else begin
+      let lines s = String.split_on_char '\n' s in
+      let golden_l = lines golden and actual_l = lines actual in
+      let missing =
+        List.filter (fun l -> l <> "" && not (List.mem l actual_l)) golden_l
+      and extra =
+        List.filter (fun l -> l <> "" && not (List.mem l golden_l)) actual_l
+      in
+      Fmt.epr "schema DRIFT vs %s@." path;
+      List.iter (Fmt.epr "  - %s@.") missing;
+      List.iter (Fmt.epr "  + %s@.") extra;
+      1
+    end
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+let plan_arg =
+  Arg.(value & opt (some file) None
+       & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Run the tbwf-plan file $(docv) through the nemesis \
+                 campaign runner instead of the E1-style scenario.")
+
+let system_arg =
+  Arg.(value & opt string "tbwf-atomic"
+       & info [ "system" ] ~docv:"SYSTEM"
+           ~doc:"System under test for --plan runs (tbwf-atomic, \
+                 tbwf-abortable, tbwf-universal, naive-booster, retry).")
+
+let full_arg =
+  Arg.(value & flag
+       & info [ "full" ]
+           ~doc:"Full scenario dimensions (n=8, 240k steps) instead of \
+                 quick (n=4, 60k steps).")
+
+let quick_arg =
+  (* Quick is already the default; the flag exists so CI invocations can
+     say what they mean. *)
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Quick scenario dimensions (the default).")
+
+let n_arg =
+  Arg.(value & opt (some int) None
+       & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let k_arg =
+  Arg.(value & opt (some int) None
+       & info [ "k" ] ~docv:"K"
+           ~doc:"Timely processes (highest-numbered pids, as in E1). \
+                 Default: all of them.")
+
+let steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "steps" ] ~docv:"STEPS" ~doc:"Scenario step budget.")
+
+let seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Runtime seed. Default: E1's per-k seed (1000+k) in \
+                 scenario mode, the nemesis default in plan mode.")
+
+let window_arg =
+  Arg.(value & opt int 1024
+       & info [ "window" ] ~docv:"STEPS"
+           ~doc:"Telemetry rate-series window, in steps.")
+
+let width_arg =
+  Arg.(value & opt int 72
+       & info [ "width" ] ~docv:"COLS" ~doc:"Timeline width in columns.")
+
+let common f =
+  Term.(
+    const (fun plan system full _quick n k steps seed window ->
+        f ~plan ~system ~full ~n ~k ~steps ~seed ~window)
+    $ plan_arg $ system_arg $ full_arg $ quick_arg $ n_arg $ k_arg
+    $ steps_arg $ seed_arg $ window_arg)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"run a scenario or plan and print the telemetry summary plus \
+             the progress/leader timeline")
+    Term.(
+      common (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
+          run_cmd_impl plan system full n k steps seed window width)
+      $ width_arg)
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"run a scenario or plan and print only the progress/leader \
+             timeline")
+    Term.(
+      common (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
+          timeline_cmd_impl plan system full n k steps seed window width)
+      $ width_arg)
+
+let export_cmd =
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the JSON output.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the snapshot to $(docv) instead of stdout.")
+  in
+  let check_schema =
+    Arg.(value & opt (some file) None
+         & info [ "check-schema" ] ~docv:"FILE"
+             ~doc:"Exit 1 unless the snapshot's key-path schema equals the \
+                   golden schema in $(docv).")
+  in
+  let write_schema =
+    Arg.(value & opt (some string) None
+         & info [ "write-schema" ] ~docv:"FILE"
+             ~doc:"Write the snapshot's key-path schema to $(docv) (to \
+                   regenerate the golden file).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"run a scenario or plan and export the deterministic JSON \
+             telemetry snapshot")
+    Term.(
+      common
+        (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window pretty out
+             check_schema write_schema ->
+          export_cmd_impl plan system full n k steps seed window pretty out
+            check_schema write_schema)
+      $ pretty $ out $ check_schema $ write_schema)
+
+let cmd =
+  let doc = "telemetry: summaries, timelines and JSON snapshots of runs" in
+  Cmd.group (Cmd.info "tbwf_trace" ~doc) [ run_cmd; timeline_cmd; export_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -28,13 +28,13 @@ module Naive_booster = struct
   (* Like Figure 3's loop but with the two gracefully-degrading ingredients
      removed: no CounterRegister (so no punishments, no self-punishment) and
      leadership by smallest active pid. *)
-  let election_loop t p n =
+  let election_loop rt t p n =
     let handle = t.handles.(p) in
     let monitor q = Option.get t.monitors.(p).(q) in
     let active_for q = (Option.get t.monitors.(q).(p)).Activity_monitor.active_for in
     let others = List.filter (fun q -> q <> p) (List.init n Fun.id) in
     while true do
-      handle.Omega_spec.leader := Omega_spec.No_leader;
+      Omega_spec.set_view rt handle Omega_spec.No_leader;
       List.iter (fun q -> (monitor q).Activity_monitor.monitoring := false) others;
       List.iter (fun q -> active_for q := false) others;
       Runtime.await (fun () -> !(handle.Omega_spec.candidate));
@@ -56,7 +56,7 @@ module Naive_booster = struct
               && q < !leader
             then leader := q)
           others;
-        handle.Omega_spec.leader := Omega_spec.Leader !leader;
+        Omega_spec.set_view rt handle (Omega_spec.Leader !leader);
         let am_leader = !leader = p in
         List.iter (fun q -> active_for q := am_leader) others;
         Runtime.yield ()
@@ -77,8 +77,8 @@ module Naive_booster = struct
     let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
     let t = { handles; monitors } in
     for p = 0 to n - 1 do
-      Runtime.spawn rt ~pid:p ~name:(Fmt.str "naive-boost[%d]" p) (fun () ->
-          election_loop t p n)
+      Runtime.spawn ~layer:Sink.Omega rt ~pid:p
+        ~name:(Fmt.str "naive-boost[%d]" p) (fun () -> election_loop rt t p n)
     done;
     t
 end

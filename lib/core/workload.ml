@@ -23,12 +23,15 @@ let spawn_clients rt ~pids ~stats ~invoke ~next_op =
         let response = invoke op in
         stats.completed.(pid) <- stats.completed.(pid) + 1;
         stats.last_response.(pid) <- Some response;
+        if Runtime.telemetry_active rt then
+          Runtime.signal rt ~pid Sink.Op_complete;
         loop (k + 1)
     in
     loop 0
   in
   List.iter
-    (fun pid -> Runtime.spawn rt ~pid ~name:"client" (client pid))
+    (fun pid ->
+      Runtime.spawn ~layer:Sink.App rt ~pid ~name:"client" (client pid))
     pids
 
 let forever op ~pid:_ ~k:_ = Some op

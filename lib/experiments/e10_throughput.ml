@@ -75,6 +75,23 @@ let full_tbwf_ops steps () =
   Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps;
   Runtime.stop stack.Scenario.rt
 
+(* Same workload as [full_tbwf_ops] but with a telemetry collector
+   attached: the difference between the two rows is the cost of live
+   telemetry. [full_tbwf_ops] itself runs with the default nil sink, so
+   its row doubles as the "telemetry disabled" baseline. *)
+let full_tbwf_ops_telemetry steps () =
+  let stack =
+    Scenario.build ~seed:105L ~n:4 ~omega:Scenario.Omega_atomic
+      ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:[ 0; 1; 2; 3 ] ()
+  in
+  let (_ : Tbwf_telemetry.Collector.t) =
+    Tbwf_telemetry.Collector.attach stack.Scenario.rt
+  in
+  Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop stack.Scenario.rt
+
 let layers =
   [
     "scheduler (yield only)", scheduler_steps;
@@ -82,6 +99,7 @@ let layers =
     "abortable register (always-abort)", abortable_register_ops;
     "query-abortable object", qa_object_ops;
     "full TBWF op (election + QA)", full_tbwf_ops;
+    "full TBWF op + live telemetry", full_tbwf_ops_telemetry;
   ]
 
 let runners = List.map (fun (label, f) -> label, f 20_000) layers

@@ -6,6 +6,10 @@ type row = {
   timely_min : int;
   timely_mean : float;
   untimely_mean : float;
+  timely_rate : float;
+      (* measured mean completions per telemetry window (1024 steps) per
+         timely process, from the attached collector's rate series *)
+  leader_epochs : int;
   tbwf_holds : bool;
   lock_free : bool;
 }
@@ -26,6 +30,7 @@ let run_config ~n ~steps ~k ~seed =
       ~client_pids:(List.init n Fun.id) ()
   in
   let policy = Scenario.degraded_policy ~n ~timely () in
+  let telemetry = Tbwf_telemetry.Collector.attach stack.Scenario.rt in
   Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
   let mid = Progress.snapshot stack.Scenario.stats in
   Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps:(steps / 2);
@@ -37,11 +42,23 @@ let run_config ~n ~steps ~k ~seed =
       (fun pid -> if List.mem pid timely then None else Some (completed pid))
       (List.init n Fun.id)
   in
+  let series = Tbwf_telemetry.Collector.app_ops telemetry in
+  let timely_rate =
+    match timely with
+    | [] -> 0.0
+    | pids ->
+      List.fold_left
+        (fun acc pid -> acc +. Tbwf_telemetry.Series.mean_per_window series ~pid)
+        0.0 pids
+      /. float_of_int (List.length pids)
+  in
   {
     k;
     timely_min = List.fold_left min max_int (max_int :: timely_counts);
     timely_mean = mean timely_counts;
     untimely_mean = mean untimely_counts;
+    timely_rate;
+    leader_epochs = Tbwf_telemetry.Collector.leader_epochs telemetry;
     tbwf_holds =
       (k = 0)
       || Progress.tbwf_holds_endless ~before:mid ~after:stack.Scenario.stats
@@ -68,7 +85,16 @@ let report fmt result =
             processes vs (n-k) decelerating"
            result.n result.steps)
       ~columns:
-        [ "k"; "timely min ops"; "timely mean"; "untimely mean"; "TBWF"; "lock-free" ]
+        [
+          "k";
+          "timely min ops";
+          "timely mean";
+          "untimely mean";
+          "ops/win (timely)";
+          "leader epochs";
+          "TBWF";
+          "lock-free";
+        ]
   in
   List.iter
     (fun row ->
@@ -78,6 +104,8 @@ let report fmt result =
           (if row.k = 0 then "-" else Table.cell_int row.timely_min);
           (if row.k = 0 then "-" else Table.cell_float row.timely_mean);
           (if row.k = result.n then "-" else Table.cell_float row.untimely_mean);
+          (if row.k = 0 then "-" else Table.cell_float row.timely_rate);
+          Table.cell_int row.leader_epochs;
           Table.cell_bool row.tbwf_holds;
           Table.cell_bool row.lock_free;
         ])

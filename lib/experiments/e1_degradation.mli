@@ -14,6 +14,12 @@ type row = {
   timely_min : int;  (** fewest ops completed by any timely process *)
   timely_mean : float;
   untimely_mean : float;
+  timely_rate : float;
+      (** measured mean completions per 1024-step telemetry window per
+          timely process, from the run's attached collector *)
+  leader_epochs : int;
+      (** leadership handoffs observed by telemetry (self-announcements
+          that changed the leader) *)
   tbwf_holds : bool;
       (** every timely process kept completing ops in the second half *)
   lock_free : bool;  (** someone kept completing ops in the second half *)

@@ -23,6 +23,21 @@ type t = {
   hb_register : int Atomic_reg.t;
 }
 
+(* Set the monitor's status estimate, emitting a telemetry signal when the
+   Active/Inactive verdict actually flips (resets to Unknown are not
+   suspicion changes and stay silent). *)
+let set_status rt t s =
+  if not (equal_status !(t.status) s) then begin
+    (match s with
+    | Active | Inactive ->
+      if Runtime.telemetry_active rt then
+        Runtime.signal rt ~pid:t.p
+          (Sink.Suspicion_flip
+             { watched = t.q; suspected = equal_status s Inactive })
+    | Unknown -> ());
+    t.status := s
+  end
+
 (* Figure 2, top: code for the monitored process q. *)
 let monitored_loop t =
   let hb_counter = ref 0 in
@@ -38,7 +53,7 @@ let monitored_loop t =
 (* Figure 2, bottom: code for the monitoring process p. With
    [increment_guards:false], faults are charged on every timeout regardless
    of the register's value — the E11 ablation. *)
-let monitoring_loop ~adapt ~increment_guards t =
+let monitoring_loop ~adapt ~increment_guards rt t =
   let hb_timeout = ref 1 in
   let hb_timer = ref 1 in
   let hb_counter = ref 0 in
@@ -54,14 +69,14 @@ let monitoring_loop ~adapt ~increment_guards t =
         hb_timer := !hb_timeout;
         prev_hb_counter := !hb_counter;
         hb_counter := Atomic_reg.read t.hb_register;
-        if !hb_counter < 0 then t.status := Inactive;
+        if !hb_counter < 0 then set_status rt t Inactive;
         if !hb_counter >= 0 && !hb_counter > !prev_hb_counter then begin
-          t.status := Active;
+          set_status rt t Active;
           allow_increment := true
         end;
         if increment_guards then begin
           if !hb_counter >= 0 && !hb_counter <= !prev_hb_counter then begin
-            t.status := Inactive;
+            set_status rt t Inactive;
             if !allow_increment then begin
               incr t.fault_cntr;
               hb_timeout := adapt !hb_timeout;
@@ -72,7 +87,7 @@ let monitoring_loop ~adapt ~increment_guards t =
         else if !hb_counter <= !prev_hb_counter then begin
           (* Ablation: charge a fault on every non-advancing read, even for
              the −1 sentinel and without the increased-since-last guard. *)
-          t.status := Inactive;
+          set_status rt t Inactive;
           incr t.fault_cntr;
           hb_timeout := adapt !hb_timeout
         end
@@ -99,10 +114,11 @@ let install ?(adapt = succ) ?(increment_guards = true) rt ~p ~q =
       hb_register;
     }
   in
-  Runtime.spawn rt ~pid:q ~name:(Fmt.str "amon-hb[%d->%d]" q p) (fun () ->
-      monitored_loop t);
-  Runtime.spawn rt ~pid:p ~name:(Fmt.str "amon-watch[%d<-%d]" p q) (fun () ->
-      monitoring_loop ~adapt ~increment_guards t);
+  Runtime.spawn ~layer:Sink.Monitor rt ~pid:q
+    ~name:(Fmt.str "amon-hb[%d->%d]" q p) (fun () -> monitored_loop t);
+  Runtime.spawn ~layer:Sink.Monitor rt ~pid:p
+    ~name:(Fmt.str "amon-watch[%d<-%d]" p q) (fun () ->
+      monitoring_loop ~adapt ~increment_guards rt t);
   t
 
 type sample = { at_step : int; status_now : status; fault_cntr_now : int }

@@ -81,6 +81,10 @@ type run_result = {
   rr_system : system;
   rr_verdict : Degradation.verdict;
   rr_tail_steps : int;
+  rr_tail_ops : int array;
+      (* measured workload completions per pid over the tail, from the
+         attached telemetry collector *)
+  rr_telemetry : Tbwf_telemetry.Collector.t;
 }
 
 let default_seed = 0x4E454D45L (* "NEME" *)
@@ -101,6 +105,7 @@ let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
   let n = Fault_plan.n plan in
   let horizon = Fault_plan.horizon plan in
   let rt = Runtime.create ~seed ~n () in
+  let telemetry = Tbwf_telemetry.Collector.attach rt in
   let invoke = build_invoke plan system rt in
   let stats = Workload.fresh_stats ~n in
   Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
@@ -114,8 +119,10 @@ let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
   let snap = max (Fault_plan.settle_step plan) (horizon - (horizon / 4)) in
   Runtime.run rt ~policy ~steps:snap;
   let completed_before = Array.copy stats.Workload.completed in
+  let measured_before = Tbwf_telemetry.Collector.app_completed telemetry in
   Runtime.run rt ~policy ~steps:(horizon - snap);
   let completed_after = Array.copy stats.Workload.completed in
+  let measured_after = Tbwf_telemetry.Collector.app_completed telemetry in
   let prediction =
     { (Fault_plan.prediction plan) with Degradation.pred_from = snap }
   in
@@ -129,7 +136,14 @@ let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
       ~completed_before ~completed_after ()
   in
   Runtime.stop rt;
-  { rr_system = system; rr_verdict = verdict; rr_tail_steps = horizon - snap }
+  {
+    rr_system = system;
+    rr_verdict = verdict;
+    rr_tail_steps = horizon - snap;
+    rr_tail_ops =
+      Array.init n (fun pid -> measured_after.(pid) - measured_before.(pid));
+    rr_telemetry = telemetry;
+  }
 
 (* --- the campaign catalogue ---------------------------------------------- *)
 
@@ -337,13 +351,18 @@ let run ?(quick = true) ?seed ?(systems = all_systems) campaign =
 
 let pp_row fmt r =
   let v = r.row_result.rr_verdict in
-  Fmt.pf fmt "%-16s %-6s expected %-6s %s  min tail ops %a"
+  Fmt.pf fmt
+    "%-16s %-6s expected %-6s %s  min tail ops %a  measured tail ops/pid %a  \
+     leader epochs %d"
     (system_name r.row_system)
     (if v.Degradation.holds then "holds" else "FAILS")
     (if r.row_expected_fail then "FAILS" else "holds")
     (if r.row_as_expected then "[ok]" else "[UNEXPECTED]")
     Fmt.(option ~none:(any "-") int)
     (Degradation.min_timely_tail_ops v)
+    Fmt.(brackets (array ~sep:comma int))
+    r.row_result.rr_tail_ops
+    (Tbwf_telemetry.Collector.leader_epochs r.row_result.rr_telemetry)
 
 let pp_outcome fmt o =
   Fmt.pf fmt "campaign %s (%s atom): %s@,%a@,plan:@,%a"

@@ -36,6 +36,13 @@ type run_result = {
   rr_system : system;
   rr_verdict : Tbwf_check.Degradation.verdict;
   rr_tail_steps : int;
+  rr_tail_ops : int array;
+      (** measured workload completions per pid over the tail window, from
+          the run's telemetry collector — the same numbers the verdict is
+          computed from, cited so a verdict is auditable *)
+  rr_telemetry : Tbwf_telemetry.Collector.t;
+      (** the run's full telemetry collector; [Collector.snapshot] exports
+          it as JSON *)
 }
 
 val default_seed : int64

@@ -8,7 +8,7 @@ type t = {
 }
 
 (* Figure 6, main code for process p. *)
-let omega_loop t p n =
+let omega_loop rt t p n =
   let handle = t.handles.(p) in
   let channel = Msg_channel.create ~me:p ~registers:t.msg_registers in
   let heartbeat = Heartbeat.create ~me:p ~mesh:t.hb_mesh in
@@ -18,7 +18,7 @@ let omega_loop t p n =
   let write_done = ref (Array.make n false) in
   let msg_to = Array.make n (0, 0) in
   while true do
-    handle.Omega_spec.leader := Omega_spec.No_leader;
+    Omega_spec.set_view rt handle Omega_spec.No_leader;
     Runtime.await (fun () -> !(handle.Omega_spec.candidate));
     (* Self-punishment on joining: jump over the current leader's counter.
        Done with max (not an increment) so counter[p] stops changing once
@@ -34,7 +34,7 @@ let omega_loop t p n =
           best := q
       done;
       leader := !best;
-      handle.Omega_spec.leader := Omega_spec.Leader !leader;
+      Omega_spec.set_view rt handle (Omega_spec.Leader !leader);
       for q = 0 to n - 1 do
         if q <> p then begin
           if not active_set.(q) then
@@ -66,7 +66,7 @@ let install rt ~policy ?write_effect () =
   let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
   let t = { handles; msg_registers; hb_mesh } in
   for p = 0 to n - 1 do
-    Runtime.spawn rt ~pid:p ~name:(Fmt.str "omega-ab[%d]" p) (fun () ->
-        omega_loop t p n)
+    Runtime.spawn ~layer:Sink.Omega rt ~pid:p ~name:(Fmt.str "omega-ab[%d]" p)
+      (fun () -> omega_loop rt t p n)
   done;
   t

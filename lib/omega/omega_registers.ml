@@ -9,7 +9,7 @@ type t = {
 }
 
 (* Figure 3, main code for process p. *)
-let omega_loop ~self_punishment t p n =
+let omega_loop ~self_punishment rt t p n =
   let handle = t.handles.(p) in
   let monitor q = Option.get t.monitors.(p).(q) in
   (* ACTIVE-FOR[q] at p is the input of A(q,p): "is p active for q?". *)
@@ -20,7 +20,7 @@ let omega_loop ~self_punishment t p n =
   let max_fault_cntr = Array.make n 0 in
   let counter = Array.make n 0 in
   while true do
-    handle.Omega_spec.leader := Omega_spec.No_leader;
+    Omega_spec.set_view rt handle Omega_spec.No_leader;
     List.iter (fun q -> (monitor q).Activity_monitor.monitoring := false) others;
     List.iter (fun q -> active_for q := false) others;
     Runtime.await (fun () -> !(handle.Omega_spec.candidate));
@@ -54,7 +54,7 @@ let omega_loop ~self_punishment t p n =
           && (counter.(q), q) < (counter.(!leader), !leader)
         then leader := q
       done;
-      handle.Omega_spec.leader := Omega_spec.Leader !leader;
+      Omega_spec.set_view rt handle (Omega_spec.Leader !leader);
       let am_leader = !leader = p in
       List.iter (fun q -> active_for q := am_leader) others;
       (* Punish processes whose monitor reported new timeliness faults. *)
@@ -83,7 +83,7 @@ let install ?(self_punishment = true) rt =
   let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
   let t = { handles; monitors; counter_registers } in
   for p = 0 to n - 1 do
-    Runtime.spawn rt ~pid:p ~name:(Fmt.str "omega[%d]" p) (fun () ->
-        omega_loop ~self_punishment t p n)
+    Runtime.spawn ~layer:Sink.Omega rt ~pid:p ~name:(Fmt.str "omega[%d]" p)
+      (fun () -> omega_loop ~self_punishment rt t p n)
   done;
   t

@@ -16,6 +16,18 @@ type handle = { pid : int; candidate : bool ref; leader : view ref }
 
 let make_handle ~pid = { pid; candidate = ref false; leader = ref No_leader }
 
+(* Update [h]'s leader view, emitting a telemetry signal on actual changes.
+   All Ω∆ implementations route their [leader :=] assignments through this
+   so leader churn is observable with zero cost when telemetry is off. *)
+let set_view rt h v =
+  if not (equal_view !(h.leader) v) then begin
+    if Runtime.telemetry_active rt then
+      Runtime.signal rt ~pid:h.pid
+        (Sink.Leader_view
+           { leader = (match v with Leader l -> Some l | No_leader -> None) });
+    h.leader := v
+  end
+
 let canonical_join h =
   Runtime.await (fun () -> not (equal_view !(h.leader) (Leader h.pid)));
   h.candidate := true

@@ -21,6 +21,11 @@ type handle = {
 
 val make_handle : pid:int -> handle
 
+val set_view : Tbwf_sim.Runtime.t -> handle -> view -> unit
+(** [set_view rt h v] updates [h.leader] to [v], emitting a telemetry
+    {!Tbwf_sim.Sink.Leader_view} signal when the view actually changes.
+    Ω∆ implementations route every [leader :=] assignment through this. *)
+
 (** {2 Canonical use (Definition 6)}
 
     After setting [candidate] to false, a canonical user waits until

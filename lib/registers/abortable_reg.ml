@@ -22,6 +22,9 @@ let create rt ~name ~codec ~init ~writer ~reader ~policy
              ctx.pid writer);
       if Abort_policy.should_abort policy ~contended:ctx.overlapped ctx then begin
         metrics.write_aborts <- metrics.write_aborts + 1;
+        if Runtime.telemetry_active rt then
+          Runtime.signal rt ~pid:ctx.pid
+            (Sink.Abort_decision { obj_name = name; is_write = true });
         if Abort_policy.write_takes_effect write_effect ctx.rng then cell := v;
         Value.Abort
       end
@@ -37,6 +40,9 @@ let create rt ~name ~codec ~init ~writer ~reader ~policy
              ctx.pid reader);
       if Abort_policy.should_abort policy ~contended:ctx.overlapped ctx then begin
         metrics.read_aborts <- metrics.read_aborts + 1;
+        if Runtime.telemetry_active rt then
+          Runtime.signal rt ~pid:ctx.pid
+            (Sink.Abort_decision { obj_name = name; is_write = false });
         Value.Abort
       end
       else begin

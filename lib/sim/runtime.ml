@@ -5,6 +5,7 @@ type pending = {
   p_obj : Shared.t;
   p_op : Value.t;
   p_invoke_step : int;
+  p_layer : Sink.layer;  (* layer of the invoking task, for telemetry *)
   mutable p_overlapped : bool;
   mutable p_overlap_ops : Value.t list;
   p_events_at_invoke : int;
@@ -21,6 +22,7 @@ type task_state =
 type task = {
   t_name : string;
   t_pid : int;
+  t_layer : Sink.layer;
   mutable t_state : task_state;
 }
 
@@ -44,6 +46,7 @@ type t = {
       (* obj id -> number of invocation/response events so far *)
   mutable crashes : (int * int) list;  (* (step, pid), unsorted *)
   mutable current : (int * task) option;  (* set while a task runs *)
+  mutable sink : Sink.t;  (* telemetry sink; Sink.nil = disabled *)
 }
 
 type _ Effect.t +=
@@ -70,6 +73,7 @@ let create ?(seed = 0xC0FFEEL) ~n () =
     event_counts = Hashtbl.create 64;
     crashes = [];
     current = None;
+    sink = Sink.nil;
   }
 
 let n t = t.num
@@ -78,15 +82,29 @@ let obj_rng t = t.obj_rng
 let trace t = t.trace
 let now t = t.step
 
+(* --- telemetry ---------------------------------------------------------- *)
+
+let set_sink t sink = t.sink <- sink
+let clear_sink t = t.sink <- Sink.nil
+let telemetry_active t = t.sink.Sink.active
+
+(* Emit a structured signal on behalf of [pid] at the current step. Cheap
+   when disabled, but call sites should still guard on [telemetry_active]
+   before allocating the signal payload. *)
+let signal t ~pid s =
+  if t.sink.Sink.active then t.sink.Sink.on_signal ~step:t.step ~pid s
+
 let register_object t ~name ~respond =
   let id = t.next_obj_id in
   t.next_obj_id <- id + 1;
   Shared.make ~id ~name ~respond
 
-let spawn t ~pid ~name body =
+let spawn ?(layer = Sink.Other) t ~pid ~name body =
   if pid < 0 || pid >= t.num then invalid_arg "Runtime.spawn: bad pid";
   let proc = t.procs.(pid) in
-  proc.tasks <- proc.tasks @ [ { t_name = name; t_pid = pid; t_state = Ready body } ]
+  proc.tasks <-
+    proc.tasks
+    @ [ { t_name = name; t_pid = pid; t_layer = layer; t_state = Ready body } ]
 
 let crash_at t ~pid ~step = t.crashes <- (step, pid) :: t.crashes
 
@@ -158,6 +176,10 @@ let respond_pending t pend =
       op = pend.p_op;
       phase = `Respond result;
     };
+  if t.sink.Sink.active then
+    t.sink.Sink.on_respond ~step:t.step ~pid:pend.p_pid ~layer:pend.p_layer
+      ~obj_id:pend.p_obj.Shared.id ~obj_name:pend.p_obj.Shared.name
+      ~op:pend.p_op ~result;
   result
 
 (* --- task execution ----------------------------------------------------- *)
@@ -192,6 +214,7 @@ let handler t task =
                   p_obj = obj;
                   p_op = op;
                   p_invoke_step = t.step;
+                  p_layer = task.t_layer;
                   p_overlapped = false;
                   p_overlap_ops = [];
                   p_events_at_invoke = events_of t obj.Shared.id;
@@ -207,6 +230,10 @@ let handler t task =
                   op;
                   phase = `Invoke;
                 };
+              if t.sink.Sink.active then
+                t.sink.Sink.on_invoke ~step:t.step ~pid:task.t_pid
+                  ~layer:task.t_layer ~obj_id:obj.Shared.id
+                  ~obj_name:obj.Shared.name ~op;
               task.t_state <- Suspended_call (k, pend))
         | Self -> Some (fun (k : (a, unit) continuation) -> continue k task.t_pid)
         | _ -> None);
@@ -252,6 +279,8 @@ let exec_task_step t task =
 
 let crash_proc t proc =
   proc.is_crashed <- true;
+  if t.sink.Sink.active then
+    signal t ~pid:proc.pid (Sink.Crash { pid = proc.pid });
   (* Resolve any in-flight operation so the object's state is well defined,
      then unwind every suspended task. *)
   let finish task =
@@ -294,14 +323,21 @@ let step t ~pid =
   | None -> assert false (* proc_runnable guarantees a runnable task *)
   | Some task ->
     Trace.record_step t.trace ~pid;
+    if t.sink.Sink.active then
+      t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
     t.current <- Some (pid, task);
     exec_task_step t task;
     t.current <- None);
   t.step <- t.step + 1
 
+let record_idle_step t =
+  Trace.record_step t.trace ~pid:(-1);
+  if t.sink.Sink.active then
+    t.sink.Sink.on_step ~step:t.step ~pid:(-1) ~layer:Sink.Other
+
 let idle_step t =
   apply_due_crashes t;
-  Trace.record_step t.trace ~pid:(-1);
+  record_idle_step t;
   t.step <- t.step + 1
 
 let run t ~policy ~steps =
@@ -312,13 +348,15 @@ let run t ~policy ~steps =
     if Array.length runnable = 0 then continue_run := false
     else begin
       (match Policy.next policy ~step:t.step ~runnable ~rng:t.rng with
-      | None -> Trace.record_step t.trace ~pid:(-1) (* idle step *)
+      | None -> record_idle_step t (* idle step *)
       | Some pid ->
         let proc = t.procs.(pid) in
         (match pick_task proc with
-        | None -> Trace.record_step t.trace ~pid:(-1)
+        | None -> record_idle_step t
         | Some task ->
           Trace.record_step t.trace ~pid;
+          if t.sink.Sink.active then
+            t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
           t.current <- Some (pid, task);
           exec_task_step t task;
           t.current <- None));

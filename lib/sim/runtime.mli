@@ -47,9 +47,12 @@ val register_object : t -> name:string -> respond:(Shared.ctx -> Value.t) -> Sha
     operation's response step (and once, with the final context, if the
     invoking process crashes mid-operation). *)
 
-val spawn : t -> pid:int -> name:string -> (unit -> unit) -> unit
+val spawn :
+  ?layer:Sink.layer -> t -> pid:int -> name:string -> (unit -> unit) -> unit
 (** Add a task to process [pid]. Tasks added to the same process share its
-    steps round-robin. May be called before or during a run. *)
+    steps round-robin. May be called before or during a run. [layer] tags
+    every step and operation the task performs for telemetry attribution
+    (default {!Sink.Other}); it has no behavioural effect. *)
 
 val crash_at : t -> pid:int -> step:int -> unit
 (** Schedule [pid] to crash just before step [step] executes. A crashed
@@ -88,6 +91,29 @@ val idle_step : t -> unit
 val stop : t -> unit
 (** Tear down all suspended tasks by resuming them with an exception. After
     [stop] the runtime can still be inspected but not run. *)
+
+(** {2 Telemetry}
+
+    A runtime carries one telemetry sink, {!Sink.nil} by default. With the
+    nil sink installed every instrumentation site reduces to a boolean test,
+    so the uninstrumented path stays fast; attaching a real sink (see
+    [Tbwf_telemetry.Collector]) streams steps, operation invocations and
+    responses, and library-level signals to it. The stream is a pure
+    function of (seed, policy, spawned code), like the trace. *)
+
+val set_sink : t -> Sink.t -> unit
+(** Install [sink] as the runtime's telemetry sink. *)
+
+val clear_sink : t -> unit
+(** Reinstall {!Sink.nil}. *)
+
+val telemetry_active : t -> bool
+(** True iff the installed sink is active. Instrumented libraries guard on
+    this before allocating signal payloads. *)
+
+val signal : t -> pid:int -> Sink.signal -> unit
+(** Emit a structured signal on behalf of [pid] at the current step. No-op
+    when telemetry is inactive. *)
 
 (** {2 Inside-task API}
 

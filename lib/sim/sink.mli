@@ -1,0 +1,63 @@
+(** Telemetry sink: the runtime's hook surface for observers.
+
+    The runtime (and the libraries built on it) emit structured events
+    through a sink record. The default sink is {!nil}, whose callbacks
+    are no-ops and whose [active] flag is false; every instrumentation
+    site guards on [active] {e before} building the event's payload, so
+    with the nil sink installed the only cost on the hot path is one
+    boolean load and branch. Attaching a real sink (see lib/telemetry)
+    turns the same sites into a deterministic event stream: events are
+    keyed by the simulator's step counter, never by wall-clock, so the
+    same (seed, policy) produces a byte-identical stream. *)
+
+(** Which part of the stack a task belongs to (set via
+    [Runtime.spawn ~layer]); step attribution groups by it. *)
+type layer = App | Omega | Monitor | Other
+
+val layer_name : layer -> string
+val layer_index : layer -> int
+val layers : layer list
+val n_layers : int
+
+(** Structured events from the libraries above the step loop. Payloads
+    are allocated only when a sink is active (call sites guard). *)
+type signal =
+  | Abort_decision of { obj_name : string; is_write : bool }
+      (** an abortable register chose to abort the current operation *)
+  | Leader_view of { leader : int option }
+      (** the acting process's Ω∆ view changed ([None] = no leader) *)
+  | Suspicion_flip of { watched : int; suspected : bool }
+      (** activity monitor A(p,q) at the acting process p flipped its
+          estimate of [watched] = q *)
+  | Crash of { pid : int }  (** the runtime crashed process [pid] *)
+  | Op_complete
+      (** the acting process completed one workload-level operation (a
+          full [Tbwf.invoke] round trip, not an individual register call
+          — emitted by [Workload], so it counts exactly what
+          [Workload.stats.completed] counts) *)
+
+type t = {
+  active : bool;
+  on_step : step:int -> pid:int -> layer:layer -> unit;
+  on_invoke :
+    step:int ->
+    pid:int ->
+    layer:layer ->
+    obj_id:int ->
+    obj_name:string ->
+    op:Value.t ->
+    unit;
+  on_respond :
+    step:int ->
+    pid:int ->
+    layer:layer ->
+    obj_id:int ->
+    obj_name:string ->
+    op:Value.t ->
+    result:Value.t ->
+    unit;
+  on_signal : step:int -> pid:int -> signal -> unit;
+}
+
+val nil : t
+(** The inactive no-op sink; installed by default. *)

@@ -1,0 +1,288 @@
+(* The per-runtime telemetry collector.
+
+   [attach rt] builds a collector sized for the runtime and installs its
+   sink; from then on every step, operation and signal feeds the
+   aggregates below. Everything is keyed by the simulator's step counter
+   and updated in event order, so the collector is exactly as
+   deterministic as the run itself: same (seed, policy, code) ⇒
+   byte-identical {!snapshot}.
+
+   The headline series is [app_ops]: workload-level operation completions
+   ([Sink.Op_complete], one per full [Tbwf.invoke] round trip) bucketed
+   into step windows per process. This is the measured form of the
+   paper's per-process rate — the quantity the degradation checker
+   verdicts and E1's table report — and it equals
+   [Workload.stats.completed] by construction, for every system
+   including ones whose query-abortable object is itself built from many
+   register calls. *)
+
+open Tbwf_sim
+
+type leader_event = { le_step : int; le_leader : int }
+
+type t = {
+  n : int;
+  window : int;
+  registry : Metrics.t;  (* extension point for caller-defined metrics *)
+  spans : Span.t;
+  app_ops : Series.t;
+  steps_per_pid : int array;
+  steps_by_layer : int array array;  (* pid x layer *)
+  mutable idle_steps : int;
+  mutable total_steps : int;
+  mutable last_step : int;
+  invokes : int array;
+  responds : int array;
+  aborts : int array;  (* Abort results, any layer *)
+  fails : int array;  (* Fail results, any layer *)
+  app_completed : int array;  (* workload-level Op_complete per pid *)
+  mutable register_abort_decisions : int;
+  leader_changes : int array;  (* view changes per observer *)
+  mutable current_leader : int option;  (* last self-announced leader *)
+  mutable handoffs : leader_event list;  (* reverse chronological *)
+  mutable epochs : int;
+  mutable suspicion_flips : int;
+  suspected_counts : int array;  (* times pid became suspected by someone *)
+  mutable crashes : (int * int) list;  (* (step, pid), reverse *)
+}
+
+let create ?(window = 1024) ~n () =
+  {
+    n;
+    window;
+    registry = Metrics.create ();
+    spans = Span.create ~n;
+    app_ops = Series.create ~window ~n ();
+    steps_per_pid = Array.make n 0;
+    steps_by_layer = Array.make_matrix n Sink.n_layers 0;
+    idle_steps = 0;
+    total_steps = 0;
+    last_step = -1;
+    invokes = Array.make n 0;
+    responds = Array.make n 0;
+    aborts = Array.make n 0;
+    fails = Array.make n 0;
+    app_completed = Array.make n 0;
+    register_abort_decisions = 0;
+    leader_changes = Array.make n 0;
+    current_leader = None;
+    handoffs = [];
+    epochs = 0;
+    suspicion_flips = 0;
+    suspected_counts = Array.make n 0;
+    crashes = [];
+  }
+
+let on_step t ~step ~pid ~layer =
+  t.total_steps <- t.total_steps + 1;
+  t.last_step <- step;
+  if pid < 0 then t.idle_steps <- t.idle_steps + 1
+  else if pid < t.n then begin
+    t.steps_per_pid.(pid) <- t.steps_per_pid.(pid) + 1;
+    let row = t.steps_by_layer.(pid) in
+    let l = Sink.layer_index layer in
+    row.(l) <- row.(l) + 1
+  end
+
+let on_invoke t ~step ~pid ~layer:_ ~obj_id ~obj_name:_ ~op:_ =
+  if pid >= 0 && pid < t.n then begin
+    t.invokes.(pid) <- t.invokes.(pid) + 1;
+    Span.on_invoke t.spans ~pid ~obj_id ~step
+  end
+
+let on_respond t ~step ~pid ~layer ~obj_id ~obj_name:_ ~op:_ ~result =
+  if pid >= 0 && pid < t.n then begin
+    t.responds.(pid) <- t.responds.(pid) + 1;
+    let aborted = Value.equal result Value.Abort in
+    if aborted then t.aborts.(pid) <- t.aborts.(pid) + 1;
+    let failed = Value.equal result Value.Fail in
+    if failed then t.fails.(pid) <- t.fails.(pid) + 1;
+    Span.on_respond t.spans ~pid ~layer ~obj_id ~step ~aborted
+  end
+
+let on_signal t ~step ~pid signal =
+  match signal with
+  | Sink.Abort_decision _ ->
+    t.register_abort_decisions <- t.register_abort_decisions + 1
+  | Sink.Leader_view { leader } ->
+    if pid >= 0 && pid < t.n then
+      t.leader_changes.(pid) <- t.leader_changes.(pid) + 1;
+    (* A leadership epoch boundary is a *self*-announcement by a process
+       other than the current epoch's leader: pid now believes pid leads.
+       Other view changes (followers catching up, views dropping to "?")
+       are churn within an epoch. *)
+    (match leader with
+    | Some l when l = pid && t.current_leader <> Some l ->
+      t.current_leader <- Some l;
+      t.epochs <- t.epochs + 1;
+      t.handoffs <- { le_step = step; le_leader = l } :: t.handoffs
+    | Some _ | None -> ())
+  | Sink.Suspicion_flip { watched; suspected } ->
+    t.suspicion_flips <- t.suspicion_flips + 1;
+    if suspected && watched >= 0 && watched < t.n then
+      t.suspected_counts.(watched) <- t.suspected_counts.(watched) + 1
+  | Sink.Crash { pid = crashed } -> t.crashes <- (step, crashed) :: t.crashes
+  | Sink.Op_complete ->
+    if pid >= 0 && pid < t.n then begin
+      t.app_completed.(pid) <- t.app_completed.(pid) + 1;
+      Series.bump t.app_ops ~pid ~step
+    end
+
+let sink t =
+  {
+    Sink.active = true;
+    on_step = (fun ~step ~pid ~layer -> on_step t ~step ~pid ~layer);
+    on_invoke =
+      (fun ~step ~pid ~layer ~obj_id ~obj_name ~op ->
+        on_invoke t ~step ~pid ~layer ~obj_id ~obj_name ~op);
+    on_respond =
+      (fun ~step ~pid ~layer ~obj_id ~obj_name ~op ~result ->
+        on_respond t ~step ~pid ~layer ~obj_id ~obj_name ~op ~result);
+    on_signal = (fun ~step ~pid s -> on_signal t ~step ~pid s);
+  }
+
+let attach ?window rt =
+  let t = create ?window ~n:(Runtime.n rt) () in
+  Runtime.set_sink rt (sink t);
+  t
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let n t = t.n
+let window t = t.window
+let registry t = t.registry
+let spans t = t.spans
+let app_ops t = t.app_ops
+let total_steps t = t.total_steps
+let idle_steps t = t.idle_steps
+let steps_per_pid t = Array.copy t.steps_per_pid
+let layer_steps t ~pid layer = t.steps_by_layer.(pid).(Sink.layer_index layer)
+let app_completed t = Array.copy t.app_completed
+let aborts t = Array.copy t.aborts
+let leader_epochs t = t.epochs
+let leader_changes t = Array.copy t.leader_changes
+let handoffs t = List.rev t.handoffs
+let suspicion_flips t = t.suspicion_flips
+let crashes t = List.rev t.crashes
+let register_abort_decisions t = t.register_abort_decisions
+
+(* Leader (by self-announcement) in effect at the end of each window,
+   [None] before the first handoff — the timeline CLI's leader row. *)
+let leader_by_window t =
+  let windows = Series.windows t.app_ops in
+  let events = List.rev t.handoffs in
+  let out = Array.make windows None in
+  let rec go current events w =
+    if w < windows then begin
+      let limit = (w + 1) * t.window in
+      let rec advance current = function
+        | ev :: rest when ev.le_step < limit -> advance (Some ev.le_leader) rest
+        | rest -> current, rest
+      in
+      let current, rest = advance current events in
+      out.(w) <- current;
+      go current rest (w + 1)
+    end
+  in
+  go None events 0;
+  out
+
+(* --- snapshot ------------------------------------------------------------ *)
+
+let schema_version = "tbwf-telemetry/v1"
+
+let int_array a = Json.Arr (Array.to_list a |> List.map (fun v -> Json.Int v))
+
+let snapshot t =
+  Json.Obj
+    [
+      "schema", Json.Str schema_version;
+      "n", Json.Int t.n;
+      "window", Json.Int t.window;
+      ( "steps",
+        Json.Obj
+          [
+            "total", Json.Int t.total_steps;
+            "idle", Json.Int t.idle_steps;
+            "per_pid", int_array t.steps_per_pid;
+            ( "attribution",
+              Json.Arr
+                (List.init t.n (fun pid ->
+                     Json.Obj
+                       (("pid", Json.Int pid)
+                       :: List.map
+                            (fun layer ->
+                              ( Sink.layer_name layer,
+                                Json.Int (layer_steps t ~pid layer) ))
+                            Sink.layers))) );
+          ] );
+      ( "ops",
+        Json.Obj
+          [
+            "invokes", int_array t.invokes;
+            "responds", int_array t.responds;
+            "aborts", int_array t.aborts;
+            "fails", int_array t.fails;
+            "app_completed", int_array t.app_completed;
+            "register_abort_decisions", Json.Int t.register_abort_decisions;
+          ] );
+      "rates", Series.to_json t.app_ops;
+      "spans", Span.to_json t.spans;
+      ( "leader",
+        Json.Obj
+          [
+            "epochs", Json.Int t.epochs;
+            "changes", int_array t.leader_changes;
+            ( "handoffs",
+              Json.Arr
+                (List.rev_map
+                   (fun ev ->
+                     Json.Obj
+                       [
+                         "step", Json.Int ev.le_step;
+                         "leader", Json.Int ev.le_leader;
+                       ])
+                   t.handoffs) );
+          ] );
+      ( "suspicion",
+        Json.Obj
+          [
+            "flips", Json.Int t.suspicion_flips;
+            "suspected_counts", int_array t.suspected_counts;
+          ] );
+      ( "crashes",
+        Json.Arr
+          (List.rev_map
+             (fun (step, pid) ->
+               Json.Obj [ "step", Json.Int step; "pid", Json.Int pid ])
+             t.crashes) );
+      "custom", Metrics.to_json t.registry;
+    ]
+
+let snapshot_string t = Json.to_string (snapshot t)
+
+(* --- human summary ------------------------------------------------------- *)
+
+let pp_summary fmt t =
+  Fmt.pf fmt "steps        %d total, %d idle@." t.total_steps t.idle_steps;
+  Fmt.pf fmt "%-4s %9s %9s %9s %9s %9s %9s %9s@." "pid" "steps" "app" "omega"
+    "monitor" "invokes" "aborts" "app-ops";
+  for pid = 0 to t.n - 1 do
+    Fmt.pf fmt "p%-3d %9d %9d %9d %9d %9d %9d %9d@." pid t.steps_per_pid.(pid)
+      (layer_steps t ~pid Sink.App)
+      (layer_steps t ~pid Sink.Omega)
+      (layer_steps t ~pid Sink.Monitor)
+      t.invokes.(pid) t.aborts.(pid) t.app_completed.(pid)
+  done;
+  Fmt.pf fmt "app latency  %a@." Hist.pp (Span.latency_of t.spans Sink.App);
+  Fmt.pf fmt "leader       %d epochs, view changes per pid %a@." t.epochs
+    Fmt.(brackets (array ~sep:comma int))
+    t.leader_changes;
+  Fmt.pf fmt "suspicion    %d flips@." t.suspicion_flips;
+  Fmt.pf fmt "reg aborts   %d decisions@." t.register_abort_decisions;
+  match List.rev t.crashes with
+  | [] -> ()
+  | crashes ->
+    Fmt.pf fmt "crashes      %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "@@") int int))
+      (List.map (fun (s, p) -> p, s) crashes)

@@ -1,0 +1,80 @@
+(** The per-runtime telemetry collector.
+
+    {!attach} builds a collector sized for the runtime and installs its
+    sink; from then on every step, operation and signal feeds the
+    aggregates. Everything is keyed by the simulator's step counter and
+    updated in event order, so the collector is exactly as deterministic
+    as the run itself: same (seed, policy, code) ⇒ byte-identical
+    {!snapshot}.
+
+    The headline series is {!app_ops}: workload-level operation
+    completions ([Sink.Op_complete], one per full [Tbwf.invoke] round
+    trip) bucketed into step windows per process. This is the measured
+    form of the paper's per-process rate, and it equals
+    [Workload.stats.completed] by construction — for every system,
+    including ones whose query-abortable object is itself built from
+    many register calls. *)
+
+open Tbwf_sim
+
+type t
+
+type leader_event = { le_step : int; le_leader : int }
+
+val create : ?window:int -> n:int -> unit -> t
+(** A detached collector ([window] defaults to 1024 steps); feed it by
+    installing {!sink} yourself, or use {!attach}. *)
+
+val sink : t -> Sink.t
+
+val attach : ?window:int -> Runtime.t -> t
+(** [create] sized for the runtime + [Runtime.set_sink]. *)
+
+(** {2 Accessors} *)
+
+val n : t -> int
+val window : t -> int
+
+val registry : t -> Metrics.t
+(** Caller-defined metrics, exported under ["custom"]. *)
+
+val spans : t -> Span.t
+val app_ops : t -> Series.t
+val total_steps : t -> int
+val idle_steps : t -> int
+val steps_per_pid : t -> int array
+val layer_steps : t -> pid:int -> Sink.layer -> int
+val app_completed : t -> int array
+val aborts : t -> int array
+
+val leader_epochs : t -> int
+(** Epoch boundaries: *self*-announcements changing hands — pid [l]
+    announced a view naming itself while the current epoch's leader was
+    someone else. Follower churn within an epoch does not count. *)
+
+val leader_changes : t -> int array
+(** Leader-view changes per observer (any change, including churn). *)
+
+val handoffs : t -> leader_event list
+(** Epoch boundaries in chronological order. *)
+
+val leader_by_window : t -> int option array
+(** Self-announced leader in effect at the end of each {!app_ops}
+    window, [None] before the first handoff — the timeline's leader
+    row. *)
+
+val suspicion_flips : t -> int
+val crashes : t -> (int * int) list
+(** [(step, pid)] in chronological order. *)
+
+val register_abort_decisions : t -> int
+
+(** {2 Output} *)
+
+val schema_version : string
+
+val snapshot : t -> Json.t
+(** The full deterministic snapshot (schema {!schema_version}). *)
+
+val snapshot_string : t -> string
+val pp_summary : Format.formatter -> t -> unit

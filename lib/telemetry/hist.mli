@@ -1,0 +1,27 @@
+(** Log₂-bucket histogram for step-valued observations (latencies, streak
+    lengths). Bucket 0 holds the value 0; bucket [i] (i ≥ 1) holds values
+    in [2^(i-1), 2^i - 1]. Observation order does not matter, so
+    snapshots of replayed runs are identical. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one observation; negative values clamp to 0. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. *)
+
+val bucket_lo : int -> int
+(** Smallest value belonging to a bucket. *)
+
+val count : t -> int
+val mean : t -> float
+
+val quantile_bound : t -> float -> int
+(** [quantile_bound t q] is an upper bound on the [q]-quantile, exact to
+    within a power of two (and never above the observed maximum). *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

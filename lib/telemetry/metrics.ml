@@ -1,0 +1,78 @@
+(* A small named-metrics registry: counters, gauges, log₂ histograms and
+   windowed rate series, looked up by name. The built-in collector keeps
+   its hot-path metrics in dedicated fields; the registry is the extension
+   point for experiments and campaigns that want to attach their own
+   numbers to the same snapshot. Snapshots list metrics sorted by name, so
+   registration order never leaks into the output. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Hist.t
+  | Series of Series.t
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 32 }
+
+let find_or_add t name build destructure =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> (
+    match destructure m with
+    | Some v -> v
+    | None ->
+      invalid_arg (Fmt.str "Metrics: %S already registered with another type" name))
+  | None ->
+    let v, m = build () in
+    Hashtbl.replace t.metrics name m;
+    v
+
+let counter t name =
+  find_or_add t name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      c, Counter c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_add t name
+    (fun () ->
+      let g = { g_name = name; g_value = 0 } in
+      g, Gauge g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  find_or_add t name
+    (fun () ->
+      let h = Hist.create () in
+      h, Histogram h)
+    (function Histogram h -> Some h | _ -> None)
+
+let series t name ~n ?window () =
+  find_or_add t name
+    (fun () ->
+      let s = Series.create ?window ~n () in
+      s, Series s)
+    (function Series s -> Some s | _ -> None)
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let to_json t =
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.metrics []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, m) ->
+           ( name,
+             match m with
+             | Counter c -> Json.Int c.c_value
+             | Gauge g -> Json.Int g.g_value
+             | Histogram h -> Hist.to_json h
+             | Series s -> Series.to_json s ))
+  in
+  Json.Obj entries

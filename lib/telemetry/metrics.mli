@@ -1,0 +1,28 @@
+(** A small named-metrics registry: counters, gauges, log₂ histograms and
+    windowed rate series, looked up by name. The built-in collector keeps
+    its hot-path metrics in dedicated fields; the registry is the
+    extension point for experiments and campaigns that attach their own
+    numbers to the same snapshot. Snapshots list metrics sorted by name,
+    so registration order never leaks into the output. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or register. Raises [Invalid_argument] if the name is already
+    registered with a different metric type (likewise below). *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> Hist.t
+val series : t -> string -> n:int -> ?window:int -> unit -> Series.t
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val to_json : t -> Json.t

@@ -1,0 +1,82 @@
+(* Windowed per-pid rate series: a grid of counters, one row per pid, one
+   column per window of [window] consecutive steps. This is the empirical
+   lens of the paper's rate claims — a timely process shows a bounded
+   number of completions in every window of the tail, an untimely one's
+   row decays towards zero. *)
+
+type t = {
+  window : int;
+  n : int;
+  mutable rows : int array array;  (* pid -> per-window counts *)
+  mutable windows : int;  (* 1 + highest window index touched *)
+}
+
+let create ?(window = 1024) ~n () =
+  if window < 1 then invalid_arg "Series.create: window must be positive";
+  {
+    window;
+    n;
+    rows = Array.init n (fun _ -> Array.make 16 0);
+    windows = 0;
+  }
+
+let window t = t.window
+let windows t = t.windows
+let window_of_step t step = step / t.window
+
+let bump t ~pid ~step =
+  if pid >= 0 && pid < t.n then begin
+    let w = step / t.window in
+    let row = t.rows.(pid) in
+    let row =
+      if w < Array.length row then row
+      else begin
+        let bigger = Array.make (max (2 * Array.length row) (w + 1)) 0 in
+        Array.blit row 0 bigger 0 (Array.length row);
+        t.rows.(pid) <- bigger;
+        bigger
+      end
+    in
+    row.(w) <- row.(w) + 1;
+    if w + 1 > t.windows then t.windows <- w + 1
+  end
+
+let row t ~pid =
+  (* Rows grow lazily per pid; pad with zeros up to the global width. *)
+  let row = t.rows.(pid) in
+  Array.init t.windows (fun w -> if w < Array.length row then row.(w) else 0)
+
+let total t ~pid = Array.fold_left ( + ) 0 t.rows.(pid)
+
+let totals t = Array.init t.n (fun pid -> total t ~pid)
+
+(* Completions in windows [from_window, windows), i.e. the tail rate. *)
+let tail_total t ~pid ~from_window =
+  let acc = ref 0 in
+  let row = t.rows.(pid) in
+  for w = max 0 from_window to min t.windows (Array.length row) - 1 do
+    acc := !acc + row.(w)
+  done;
+  !acc
+
+let mean_per_window t ~pid =
+  if t.windows = 0 then 0.0
+  else float_of_int (total t ~pid) /. float_of_int t.windows
+
+let to_json t =
+  Json.Obj
+    [
+      "window", Json.Int t.window;
+      "windows", Json.Int t.windows;
+      ( "per_pid",
+        Json.Arr
+          (List.init t.n (fun pid ->
+               Json.Arr
+                 (Array.to_list (row t ~pid) |> List.map (fun c -> Json.Int c))))
+      );
+      ( "totals",
+        Json.Arr (Array.to_list (totals t) |> List.map (fun c -> Json.Int c)) );
+      ( "mean_per_window",
+        Json.Arr (List.init t.n (fun pid -> Json.Float (mean_per_window t ~pid)))
+      );
+    ]

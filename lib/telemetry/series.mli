@@ -1,0 +1,32 @@
+(** Windowed per-pid rate series: a grid of counters, one row per pid,
+    one column per window of [window] consecutive steps. This is the
+    empirical lens of the paper's rate claims — a timely process shows a
+    bounded number of completions in every window of the tail, an
+    untimely one's row decays towards zero. *)
+
+type t
+
+val create : ?window:int -> n:int -> unit -> t
+(** [window] defaults to 1024 steps; raises [Invalid_argument] if < 1. *)
+
+val window : t -> int
+val windows : t -> int
+(** 1 + the highest window index touched so far. *)
+
+val window_of_step : t -> int -> int
+
+val bump : t -> pid:int -> step:int -> unit
+(** Count one event for [pid] in the window containing [step].
+    Out-of-range pids are ignored. *)
+
+val row : t -> pid:int -> int array
+(** Per-window counts for [pid], zero-padded to {!windows} columns. *)
+
+val total : t -> pid:int -> int
+val totals : t -> int array
+
+val tail_total : t -> pid:int -> from_window:int -> int
+(** Events in windows [from_window, windows) — the tail rate. *)
+
+val mean_per_window : t -> pid:int -> float
+val to_json : t -> Json.t

@@ -1,0 +1,119 @@
+(* Operation-span tracing.
+
+   The runtime's invoke/respond events pair up into {e spans}: one span per
+   shared-object operation, from its invocation step to its response step.
+   The tracer aggregates spans as they close — per-layer latency
+   histograms, abort/retry streaks per process, and contention windows
+   (maximal periods during which an object had two or more operations in
+   flight). Everything is derived from the event stream in event order, so
+   a replayed schedule produces an identical aggregate. *)
+
+open Tbwf_sim
+
+type open_span = {
+  os_obj : int;
+  os_invoke : int;
+  mutable os_contended : bool;
+}
+
+type t = {
+  n : int;
+  latency : Hist.t array;  (* indexed by Sink.layer_index *)
+  open_spans : open_span list array;  (* per pid, newest first *)
+  open_count : (int, int) Hashtbl.t;  (* obj_id -> in-flight spans *)
+  in_window : (int, bool) Hashtbl.t;  (* obj_id -> contention window open *)
+  abort_streak : int array;  (* per pid, current run of Abort results *)
+  streaks : Hist.t;  (* lengths of completed abort streaks *)
+  mutable completed : int;
+  mutable contended_spans : int;
+  mutable contention_windows : int;
+}
+
+let create ~n =
+  {
+    n;
+    latency = Array.init Sink.n_layers (fun _ -> Hist.create ());
+    open_spans = Array.make n [];
+    open_count = Hashtbl.create 64;
+    in_window = Hashtbl.create 64;
+    abort_streak = Array.make n 0;
+    streaks = Hist.create ();
+    completed = 0;
+    contended_spans = 0;
+    contention_windows = 0;
+  }
+
+let opens_of t obj_id =
+  Option.value (Hashtbl.find_opt t.open_count obj_id) ~default:0
+
+let on_invoke t ~pid ~obj_id ~step =
+  if pid >= 0 && pid < t.n then begin
+    let sp = { os_obj = obj_id; os_invoke = step; os_contended = false } in
+    let opens = opens_of t obj_id + 1 in
+    Hashtbl.replace t.open_count obj_id opens;
+    t.open_spans.(pid) <- sp :: t.open_spans.(pid);
+    if opens >= 2 then begin
+      (* Everyone currently in flight on this object is contended. *)
+      Array.iter
+        (List.iter (fun other ->
+             if other.os_obj = obj_id then other.os_contended <- true))
+        t.open_spans;
+      if not (Option.value (Hashtbl.find_opt t.in_window obj_id) ~default:false)
+      then begin
+        Hashtbl.replace t.in_window obj_id true;
+        t.contention_windows <- t.contention_windows + 1
+      end
+    end
+  end
+
+let on_respond t ~pid ~layer ~obj_id ~step ~aborted =
+  if pid >= 0 && pid < t.n then begin
+    (* Close the newest open span of [pid] on this object; skip silently if
+       the sink was attached mid-operation and the invoke was never seen. *)
+    let rec split acc = function
+      | [] -> None
+      | sp :: rest when sp.os_obj = obj_id ->
+        Some (sp, List.rev_append acc rest)
+      | sp :: rest -> split (sp :: acc) rest
+    in
+    (match split [] t.open_spans.(pid) with
+    | None -> ()
+    | Some (sp, rest) ->
+      t.open_spans.(pid) <- rest;
+      t.completed <- t.completed + 1;
+      Hist.observe t.latency.(Sink.layer_index layer) (step - sp.os_invoke);
+      if sp.os_contended then t.contended_spans <- t.contended_spans + 1;
+      let opens = max 0 (opens_of t obj_id - 1) in
+      Hashtbl.replace t.open_count obj_id opens;
+      if opens = 0 then Hashtbl.replace t.in_window obj_id false);
+    if aborted then t.abort_streak.(pid) <- t.abort_streak.(pid) + 1
+    else if t.abort_streak.(pid) > 0 then begin
+      Hist.observe t.streaks t.abort_streak.(pid);
+      t.abort_streak.(pid) <- 0
+    end
+  end
+
+let latency_of t layer = t.latency.(Sink.layer_index layer)
+let completed t = t.completed
+
+let to_json t =
+  Json.Obj
+    [
+      "completed", Json.Int t.completed;
+      ( "latency",
+        Json.Obj
+          (List.map
+             (fun layer ->
+               Sink.layer_name layer, Hist.to_json (latency_of t layer))
+             Sink.layers) );
+      "abort_streaks", Hist.to_json t.streaks;
+      ( "open_abort_streaks",
+        Json.Arr (Array.to_list t.abort_streak |> List.map (fun s -> Json.Int s))
+      );
+      ( "contention",
+        Json.Obj
+          [
+            "windows", Json.Int t.contention_windows;
+            "contended_spans", Json.Int t.contended_spans;
+          ] );
+    ]

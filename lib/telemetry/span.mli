@@ -1,0 +1,31 @@
+(** Operation-span tracing.
+
+    The runtime's invoke/respond events pair up into {e spans}: one span
+    per shared-object operation, from its invocation step to its
+    response step. The tracer aggregates spans as they close — per-layer
+    latency histograms, abort/retry streaks per process, and contention
+    windows (maximal periods during which an object had two or more
+    operations in flight). Everything is derived from the event stream
+    in event order, so a replayed schedule produces an identical
+    aggregate. *)
+
+open Tbwf_sim
+
+type t
+
+val create : n:int -> t
+
+val on_invoke : t -> pid:int -> obj_id:int -> step:int -> unit
+
+val on_respond :
+  t -> pid:int -> layer:Sink.layer -> obj_id:int -> step:int ->
+  aborted:bool -> unit
+(** Closes [pid]'s newest open span on [obj_id]; a respond whose invoke
+    was never seen (sink attached mid-operation) is silently ignored.
+    [aborted] feeds the per-process abort-streak histogram: a streak
+    closes (and its length is observed) at the first non-aborted
+    response. *)
+
+val completed : t -> int
+val latency_of : t -> Sink.layer -> Hist.t
+val to_json : t -> Json.t

@@ -1,0 +1,279 @@
+open Tbwf_sim
+open Tbwf_core
+open Tbwf_objects
+open Tbwf_experiments
+open Tbwf_telemetry
+
+(* --- Hist ---------------------------------------------------------------- *)
+
+let test_hist_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Fmt.str "bucket_of %d" v) b (Hist.bucket_of v))
+    [ 0, 0; 1, 1; 2, 2; 3, 2; 4, 3; 7, 3; 8, 4; 1023, 10; 1024, 11 ];
+  Alcotest.(check int) "bucket_lo 0" 0 (Hist.bucket_lo 0);
+  Alcotest.(check int) "bucket_lo 1" 1 (Hist.bucket_lo 1);
+  Alcotest.(check int) "bucket_lo 4" 8 (Hist.bucket_lo 4)
+
+let test_hist_stats () =
+  let h = Hist.create () in
+  List.iter (Hist.observe h) [ 0; 1; 1; 2; 4; 100 ];
+  Alcotest.(check int) "count" 6 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" 18.0 (Hist.mean h);
+  Alcotest.(check bool) "p50 bound covers median" true
+    (Hist.quantile_bound h 0.5 >= 1);
+  Alcotest.(check int) "p99 bound is max" 100 (Hist.quantile_bound h 0.99);
+  Hist.observe h (-5);
+  Alcotest.(check int) "negative clamps to zero bucket" 7 (Hist.count h)
+
+(* --- Series -------------------------------------------------------------- *)
+
+let test_series_windows () =
+  let s = Series.create ~window:10 ~n:2 () in
+  Series.bump s ~pid:0 ~step:5;
+  Series.bump s ~pid:0 ~step:15;
+  Series.bump s ~pid:1 ~step:25;
+  Series.bump s ~pid:9 ~step:25;
+  (* out of range: ignored *)
+  Alcotest.(check int) "windows" 3 (Series.windows s);
+  Alcotest.(check (array int)) "row 0 (padded)" [| 1; 1; 0 |]
+    (Series.row s ~pid:0);
+  Alcotest.(check (array int)) "row 1 (lazy growth padded)" [| 0; 0; 1 |]
+    (Series.row s ~pid:1);
+  Alcotest.(check (array int)) "totals" [| 2; 1 |] (Series.totals s);
+  Alcotest.(check int) "tail_total from w1" 1
+    (Series.tail_total s ~pid:0 ~from_window:1);
+  Alcotest.(check (float 1e-9)) "mean per window" (2.0 /. 3.0)
+    (Series.mean_per_window s ~pid:0)
+
+let test_series_growth () =
+  let s = Series.create ~window:2 ~n:1 () in
+  for step = 0 to 999 do
+    Series.bump s ~pid:0 ~step
+  done;
+  Alcotest.(check int) "windows after growth" 500 (Series.windows s);
+  Alcotest.(check int) "total preserved" 1000 (Series.total s ~pid:0);
+  Alcotest.(check bool) "every window holds 2" true
+    (Array.for_all (fun c -> c = 2) (Series.row s ~pid:0))
+
+(* --- Span ---------------------------------------------------------------- *)
+
+let test_span_latency_and_streaks () =
+  let sp = Span.create ~n:2 in
+  Span.on_invoke sp ~pid:0 ~obj_id:1 ~step:0;
+  Span.on_respond sp ~pid:0 ~layer:Sink.App ~obj_id:1 ~step:5 ~aborted:false;
+  Alcotest.(check int) "completed" 1 (Span.completed sp);
+  let lat = Span.latency_of sp Sink.App in
+  Alcotest.(check int) "latency count" 1 (Hist.count lat);
+  Alcotest.(check (float 1e-9)) "latency mean" 5.0 (Hist.mean lat);
+  (* Three aborts then a success: one streak of length 3. *)
+  List.iter
+    (fun step ->
+      Span.on_invoke sp ~pid:1 ~obj_id:1 ~step;
+      Span.on_respond sp ~pid:1 ~layer:Sink.App ~obj_id:1 ~step:(step + 1)
+        ~aborted:true)
+    [ 10; 12; 14 ];
+  Span.on_invoke sp ~pid:1 ~obj_id:1 ~step:16;
+  Span.on_respond sp ~pid:1 ~layer:Sink.App ~obj_id:1 ~step:17 ~aborted:false;
+  match Span.to_json sp with
+  | Json.Obj fields -> (
+    Alcotest.(check bool) "all five spans completed" true
+      (List.assoc "completed" fields = Json.Int 5);
+    match List.assoc "abort_streaks" fields with
+    | Json.Obj h ->
+      Alcotest.(check bool) "one closed streak" true
+        (List.assoc "count" h = Json.Int 1);
+      Alcotest.(check bool) "streak length 3" true
+        (List.assoc "max" h = Json.Int 3)
+    | _ -> Alcotest.fail "abort_streaks should be a histogram object")
+  | _ -> Alcotest.fail "span json should be an object"
+
+let test_span_contention () =
+  let sp = Span.create ~n:2 in
+  Span.on_invoke sp ~pid:0 ~obj_id:7 ~step:0;
+  Span.on_invoke sp ~pid:1 ~obj_id:7 ~step:1;
+  (* both spans overlap on object 7: one contention window *)
+  Span.on_respond sp ~pid:0 ~layer:Sink.App ~obj_id:7 ~step:2 ~aborted:false;
+  Span.on_respond sp ~pid:1 ~layer:Sink.App ~obj_id:7 ~step:3 ~aborted:false;
+  (* a solo operation afterwards does not reopen the window *)
+  Span.on_invoke sp ~pid:0 ~obj_id:7 ~step:4;
+  Span.on_respond sp ~pid:0 ~layer:Sink.App ~obj_id:7 ~step:5 ~aborted:false;
+  match Span.to_json sp with
+  | Json.Obj fields -> (
+    match List.assoc "contention" fields with
+    | Json.Obj c ->
+      Alcotest.(check bool) "one window" true
+        (List.assoc "windows" c = Json.Int 1);
+      Alcotest.(check bool) "two contended spans" true
+        (List.assoc "contended_spans" c = Json.Int 2)
+    | _ -> Alcotest.fail "contention should be an object")
+  | _ -> Alcotest.fail "span json should be an object"
+
+let test_span_orphan_respond () =
+  let sp = Span.create ~n:1 in
+  (* A respond with no recorded invoke (collector attached mid-run) is
+     silently ignored rather than crashing or corrupting counts. *)
+  Span.on_respond sp ~pid:0 ~layer:Sink.App ~obj_id:3 ~step:9 ~aborted:false;
+  Alcotest.(check int) "nothing completed" 0 (Span.completed sp)
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_printing () =
+  let doc =
+    Json.Obj
+      [
+        "s", Json.Str "a\"b\n";
+        "i", Json.Int (-3);
+        "f", Json.Float 1.5;
+        "g", Json.Float 2.0;
+        "a", Json.Arr [ Json.Bool true; Json.Null ];
+      ]
+  in
+  Alcotest.(check string) "compact deterministic"
+    "{\"s\":\"a\\\"b\\n\",\"i\":-3,\"f\":1.5,\"g\":2.0,\"a\":[true,null]}"
+    (Json.to_string doc)
+
+let test_json_schema () =
+  let doc =
+    Json.Obj
+      [
+        "b", Json.Arr [ Json.Int 1; Json.Int 2; Json.Int 3 ];
+        "a", Json.Obj [ "x", Json.Str "s" ];
+        "e", Json.Arr [];
+      ]
+  in
+  Alcotest.(check (list string)) "sorted deduped paths"
+    [
+      ": object";
+      "a.x: string";
+      "a: object";
+      "b: array";
+      "b[]: int";
+      "e: array";
+    ]
+    (Json.schema_paths doc)
+
+(* --- Collector on a live scenario ---------------------------------------- *)
+
+let build_stack ~seed =
+  Scenario.build ~seed ~n:3 ~omega:Scenario.Omega_atomic ~spec:Counter.spec
+    ~next_op:(Workload.forever Counter.inc)
+    ~client_pids:[ 0; 1; 2 ] ()
+
+let test_collector_agrees_with_workload () =
+  let stack = build_stack ~seed:42L in
+  let telemetry = Collector.attach ~window:256 stack.Scenario.rt in
+  Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps:6_000;
+  Runtime.stop stack.Scenario.rt;
+  Alcotest.(check (array int)) "app_completed = workload completed"
+    stack.Scenario.stats.Workload.completed
+    (Collector.app_completed telemetry);
+  Alcotest.(check (array int)) "series totals = workload completed"
+    stack.Scenario.stats.Workload.completed
+    (Series.totals (Collector.app_ops telemetry));
+  Alcotest.(check int) "every step attributed" 6_000
+    (Collector.total_steps telemetry);
+  let per_pid = Collector.steps_per_pid telemetry in
+  Alcotest.(check int) "pid + idle steps = total" 6_000
+    (Collector.idle_steps telemetry + Array.fold_left ( + ) 0 per_pid);
+  Array.iteri
+    (fun pid steps ->
+      let by_layer =
+        List.fold_left
+          (fun acc layer -> acc + Collector.layer_steps telemetry ~pid layer)
+          0 Sink.layers
+      in
+      Alcotest.(check int) (Fmt.str "pid %d layers sum" pid) steps by_layer)
+    per_pid;
+  Alcotest.(check int) "handoffs = epochs"
+    (Collector.leader_epochs telemetry)
+    (List.length (Collector.handoffs telemetry));
+  Alcotest.(check bool) "leadership changed hands at least once" true
+    (Collector.leader_epochs telemetry >= 1)
+
+let test_sink_lifecycle () =
+  let rt = Runtime.create ~seed:7L ~n:2 () in
+  Alcotest.(check bool) "nil sink inactive by default" false
+    (Runtime.telemetry_active rt);
+  let (_ : Collector.t) = Collector.attach rt in
+  Alcotest.(check bool) "collector active" true (Runtime.telemetry_active rt);
+  Runtime.clear_sink rt;
+  Alcotest.(check bool) "cleared" false (Runtime.telemetry_active rt);
+  Runtime.stop rt
+
+let test_snapshot_deterministic () =
+  let snap seed =
+    let stack = build_stack ~seed in
+    let telemetry = Collector.attach stack.Scenario.rt in
+    let policy = Scenario.degraded_policy ~n:3 ~timely:[ 2 ] () in
+    Runtime.run stack.Scenario.rt ~policy ~steps:4_000;
+    Runtime.stop stack.Scenario.rt;
+    Collector.snapshot_string telemetry
+  in
+  Alcotest.(check string) "same seed, same snapshot" (snap 5L) (snap 5L);
+  Alcotest.(check bool) "different seed, different snapshot" false
+    (String.equal (snap 5L) (snap 6L))
+
+(* --- the replay property -------------------------------------------------- *)
+
+(* Telemetry must be a pure function of the run: replaying the recorded
+   schedule on a fresh identically-seeded stack reproduces the snapshot
+   byte for byte. *)
+let qcheck_snapshot_replay_stable =
+  QCheck.Test.make ~name:"snapshot byte-identical under schedule replay"
+    ~count:25
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let seed = Int64.of_int seed in
+      let stack = build_stack ~seed in
+      let telemetry = Collector.attach ~window:128 stack.Scenario.rt in
+      let policy = Scenario.degraded_policy ~n:3 ~timely:[ 1; 2 ] () in
+      Runtime.run stack.Scenario.rt ~policy ~steps:3_000;
+      let sched = Trace.schedule (Runtime.trace stack.Scenario.rt) in
+      let original = Collector.snapshot_string telemetry in
+      Runtime.stop stack.Scenario.rt;
+      let stack' = build_stack ~seed in
+      let telemetry' = Collector.attach ~window:128 stack'.Scenario.rt in
+      Runtime.run stack'.Scenario.rt ~policy:(Policy.replay sched)
+        ~steps:3_000;
+      let replayed = Collector.snapshot_string telemetry' in
+      Runtime.stop stack'.Scenario.rt;
+      String.equal original replayed)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "log2 buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "stats" `Quick test_hist_stats;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "windows" `Quick test_series_windows;
+          Alcotest.test_case "growth" `Quick test_series_growth;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "latency and streaks" `Quick
+            test_span_latency_and_streaks;
+          Alcotest.test_case "contention windows" `Quick test_span_contention;
+          Alcotest.test_case "orphan respond ignored" `Quick
+            test_span_orphan_respond;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_json_printing;
+          Alcotest.test_case "schema paths" `Quick test_json_schema;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "agrees with workload" `Quick
+            test_collector_agrees_with_workload;
+          Alcotest.test_case "sink lifecycle" `Quick test_sink_lifecycle;
+          Alcotest.test_case "deterministic snapshot" `Quick
+            test_snapshot_deterministic;
+        ] );
+      ( "replay",
+        [ QCheck_alcotest.to_alcotest qcheck_snapshot_replay_stable ] );
+    ]

@@ -81,6 +81,76 @@ let test_ops_order () =
   let steps = List.map (fun ev -> ev.Trace.step) (Trace.ops t) in
   Alcotest.(check (list int)) "chronological" [ 1; 2; 3; 4; 5 ] steps
 
+let steps_of_events evs = List.map (fun ev -> ev.Trace.step) evs
+
+let test_ops_from_empty () =
+  let t = Trace.create () in
+  Alcotest.(check int) "empty n_ops" 0 (Trace.n_ops t);
+  Alcotest.(check (list int)) "empty from 0" []
+    (steps_of_events (Trace.ops_from t 0));
+  Alcotest.(check (list int)) "empty, mark past end" []
+    (steps_of_events (Trace.ops_from t 7))
+
+let test_ops_from_past_end () =
+  let t = Trace.create () in
+  Trace.record_op t
+    (op_event ~step:1 ~pid:0 ~obj_name:"x" ~op:Value.read_op ~phase:`Invoke);
+  Alcotest.(check (list int)) "mark = n_ops is empty" []
+    (steps_of_events (Trace.ops_from t (Trace.n_ops t)));
+  Alcotest.(check (list int)) "mark beyond n_ops is empty" []
+    (steps_of_events (Trace.ops_from t (Trace.n_ops t + 3)))
+
+let test_ops_from_interleaved () =
+  let t = Trace.create () in
+  let record step =
+    Trace.record_op t
+      (op_event ~step ~pid:0 ~obj_name:"x" ~op:Value.read_op ~phase:`Invoke)
+  in
+  record 1;
+  record 2;
+  let mark1 = Trace.n_ops t in
+  Alcotest.(check int) "mark after two" 2 mark1;
+  record 3;
+  let mark2 = Trace.n_ops t in
+  record 4;
+  record 5;
+  (* Earlier mark still sees everything since it was taken, a later mark
+     only its own suffix; old marks are never invalidated by new events. *)
+  Alcotest.(check (list int)) "since mark1" [ 3; 4; 5 ]
+    (steps_of_events (Trace.ops_from t mark1));
+  Alcotest.(check (list int)) "since mark2" [ 4; 5 ]
+    (steps_of_events (Trace.ops_from t mark2));
+  Alcotest.(check (list int)) "from zero sees all" [ 1; 2; 3; 4; 5 ]
+    (steps_of_events (Trace.ops_from t 0))
+
+(* The fingerprint is the replay-determinism witness: explorer and nemesis
+   tests compare runs by fingerprint equality, so its exact rendering is a
+   compatibility surface. Pin it to a golden string. *)
+let test_fingerprint_golden () =
+  let t = Trace.create () in
+  List.iter (fun pid -> Trace.record_step t ~pid) [ 0; 1; -1 ];
+  Trace.record_op t
+    (op_event ~step:1 ~pid:0 ~obj_name:"x" ~op:Value.read_op ~phase:`Invoke);
+  Trace.record_op t
+    { Trace.step = 2; pid = 1; obj_id = 2; obj_name = "Reg[0]";
+      op = Value.write_op (Value.Int 7); phase = `Respond Value.Abort };
+  let expected =
+    "sched:0,1,-1,\n" ^ "ops:\n"
+    ^ "1 0 0 x (\"read\", ()) I\n"
+    ^ "2 1 2 Reg[0] (\"write\", 7) R \xe2\x8a\xa5\n"
+  in
+  Alcotest.(check string) "golden fingerprint" expected (Trace.fingerprint t)
+
+let test_fingerprint_distinguishes () =
+  let a = Trace.create () and b = Trace.create () in
+  Trace.record_step a ~pid:0;
+  Trace.record_step b ~pid:0;
+  Alcotest.(check string) "same prefix agrees" (Trace.fingerprint a)
+    (Trace.fingerprint b);
+  Trace.record_step b ~pid:1;
+  Alcotest.(check bool) "extra step differs" false
+    (String.equal (Trace.fingerprint a) (Trace.fingerprint b))
+
 let () =
   Alcotest.run "trace"
     [
@@ -91,5 +161,18 @@ let () =
           Alcotest.test_case "buffer growth" `Quick test_growth;
           Alcotest.test_case "writes_in_window" `Quick test_writes_in_window;
           Alcotest.test_case "ops chronological" `Quick test_ops_order;
+        ] );
+      ( "marks",
+        [
+          Alcotest.test_case "ops_from empty trace" `Quick test_ops_from_empty;
+          Alcotest.test_case "ops_from past end" `Quick test_ops_from_past_end;
+          Alcotest.test_case "ops_from interleaved marks" `Quick
+            test_ops_from_interleaved;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "golden string" `Quick test_fingerprint_golden;
+          Alcotest.test_case "distinguishes runs" `Quick
+            test_fingerprint_distinguishes;
         ] );
     ]
