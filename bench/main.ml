@@ -10,7 +10,11 @@
    With --json the harness instead times every experiment and the
    per-layer throughput runs and writes the results to BENCH_<date>.json
    (machine-readable; includes the telemetry-overhead ratio between the
-   nil-sink and collector-attached TBWF workloads). *)
+   nil-sink and collector-attached TBWF workloads, plus run provenance:
+   git SHA, seed, quick/full mode and OCaml version). [--out FILE]
+   overrides the output path; [--check-baseline FILE] additionally
+   compares the measured per-layer steps/sec against a committed BENCH
+   json and exits nonzero on a regression of more than 30%. *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -18,6 +22,18 @@ open Bechamel.Toolkit
 let quick = not (Array.exists (String.equal "--full") Sys.argv)
 let skip_micro = Array.exists (String.equal "--tables-only") Sys.argv
 let json_mode = Array.exists (String.equal "--json") Sys.argv
+
+(* Value of [--flag VALUE], if present. *)
+let arg_value flag =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if String.equal Sys.argv.(i) flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let json_out = arg_value "--out"
+let baseline_path = arg_value "--check-baseline"
 
 (* --- part 1: evaluation tables ------------------------------------------ *)
 
@@ -114,6 +130,83 @@ let report raw =
 let drop_fmt =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
+(* Run provenance: a BENCH file is only a trajectory point if it says
+   which commit, mode, seed and compiler produced it. *)
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(* Compare the freshly measured per-layer throughput against a committed
+   BENCH json: any layer running at less than [floor] of its baseline
+   steps/sec is a regression. Layers only on one side are reported but
+   never fail the check (renames should not brick CI). *)
+let check_against_baseline ~path rows =
+  let open Tbwf_telemetry in
+  let read_file p =
+    let ic = open_in p in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    text
+  in
+  let floor = 0.70 in
+  match Json.of_string (read_file path) with
+  | Error msg ->
+    Fmt.epr "bad baseline %s: %s@." path msg;
+    2
+  | Ok doc ->
+    let base_rates =
+      match Json.member "throughput" doc with
+      | Some (Json.Arr items) ->
+        List.filter_map
+          (fun row ->
+            match
+              Json.member "layer" row, Json.member "steps_per_sec" row
+            with
+            | Some (Json.Str layer), Some rate ->
+              Option.map (fun r -> layer, r) (Json.to_float_opt rate)
+            | _ -> None)
+          items
+      | _ -> []
+    in
+    if base_rates = [] then begin
+      Fmt.epr "baseline %s carries no throughput rows@." path;
+      2
+    end
+    else begin
+      let regressions = ref [] in
+      List.iter
+        (fun r ->
+          let open Tbwf_experiments.E10_throughput in
+          match List.assoc_opt r.layer base_rates with
+          | None -> Fmt.pr "%-40s (not in baseline)@." r.layer
+          | Some base when base <= 0.0 -> ()
+          | Some base ->
+            let ratio = r.steps_per_sec /. base in
+            Fmt.pr "%-40s %10.0f vs baseline %10.0f  (x%.2f)%s@." r.layer
+              r.steps_per_sec base ratio
+              (if ratio < floor then "  REGRESSION" else "");
+            if ratio < floor then regressions := r.layer :: !regressions)
+        rows;
+      match !regressions with
+      | [] ->
+        Fmt.pr "throughput within %.0f%% of baseline %s@."
+          ((1.0 -. floor) *. 100.0)
+          path;
+        0
+      | layers ->
+        Fmt.epr "steps/sec regression > %.0f%% vs %s in: %s@."
+          ((1.0 -. floor) *. 100.0)
+          path
+          (String.concat ", " (List.rev layers));
+        1
+    end
+
 let run_json () =
   let open Tbwf_telemetry in
   (* Per-experiment wall time; table output is discarded. *)
@@ -172,19 +265,30 @@ let run_json () =
   let doc =
     Json.Obj
       [
-        "schema", Json.Str "tbwf-bench/v1";
+        "schema", Json.Str "tbwf-bench/v2";
         "date", Json.Str date;
+        "git_sha", Json.Str (git_sha ());
+        "ocaml_version", Json.Str Sys.ocaml_version;
+        "seed",
+        Json.Int (Int64.to_int Tbwf_experiments.E10_throughput.base_seed);
         "mode", Json.Str (if quick then "quick" else "full");
         "experiments", Json.Arr experiments;
         "throughput", Json.Arr (List.map row_json rows);
         "telemetry_overhead", overhead;
       ]
   in
-  let path = Fmt.str "BENCH_%s.json" date in
+  let path =
+    match json_out with
+    | Some p -> p
+    | None -> Fmt.str "BENCH_%s.json" date
+  in
   let oc = open_out path in
   output_string oc (Json.to_string_pretty doc);
   close_out oc;
-  Fmt.pr "wrote %s@." path
+  Fmt.pr "wrote %s@." path;
+  match baseline_path with
+  | None -> 0
+  | Some baseline -> check_against_baseline ~path:baseline rows
 
 let run_all_parts () =
   run_tables ();
@@ -198,4 +302,4 @@ let run_all_parts () =
     report (benchmark experiment_tests)
   end
 
-let () = if json_mode then run_json () else run_all_parts ()
+let () = if json_mode then exit (run_json ()) else run_all_parts ()

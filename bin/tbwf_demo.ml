@@ -29,6 +29,8 @@ let run n steps seed object_name omega_name untimely non_canonical =
   let omega = omega_of_string omega_name in
   let untimely = List.filter (fun p -> p >= 0 && p < n) untimely in
   let timely = List.filter (fun p -> not (List.mem p untimely)) (List.init n Fun.id) in
+  (* One registry stack per omega choice; the demo only varies the elector,
+     never the QA construction. *)
   let stack =
     Scenario.build ~seed:(Int64.of_int seed) ~canonical:(not non_canonical) ~n
       ~omega ~spec

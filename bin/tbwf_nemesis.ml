@@ -30,6 +30,11 @@ let list_campaigns () =
   Fmt.flush fmt ();
   0
 
+let list_systems () =
+  Fmt.pf fmt "%a@." Tbwf_system.System.pp_registry ();
+  Fmt.flush fmt ();
+  0
+
 let with_campaign name k =
   match Campaign.find name with
   | Some c -> k c
@@ -173,6 +178,14 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"list the campaign catalogue")
     Term.(const list_campaigns $ const ())
 
+let list_systems_cmd =
+  Cmd.v
+    (Cmd.info "list-systems"
+       ~doc:"list the system registry: ids, descriptions and paper \
+             references (the systems accepted by run/matrix and by \
+             tbwf_trace --system)")
+    Term.(const list_systems $ const ())
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run"
@@ -241,6 +254,6 @@ let replay_cmd =
 let cmd =
   let doc = "fault-injection campaigns with graceful-degradation verdicts" in
   Cmd.group (Cmd.info "tbwf_nemesis" ~doc)
-    [ list_cmd; run_cmd; matrix_cmd; fuzz_cmd; replay_cmd ]
+    [ list_cmd; list_systems_cmd; run_cmd; matrix_cmd; fuzz_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval' cmd)

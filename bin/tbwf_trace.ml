@@ -13,8 +13,6 @@
 
 open Cmdliner
 open Tbwf_experiments
-open Tbwf_objects
-open Tbwf_core
 open Tbwf_nemesis
 open Tbwf_telemetry
 
@@ -47,14 +45,14 @@ type run = {
 let run_scenario ~n ~k ~steps ~seed ~window =
   let timely = List.init k (fun i -> n - 1 - i) in
   let stack =
-    Scenario.build ~seed ~n ~omega:Scenario.Omega_atomic ~spec:Counter.spec
-      ~next_op:(Workload.forever Counter.inc)
-      ~client_pids:(List.init n Fun.id) ()
+    Tbwf_system.System.build ~seed ~telemetry:true ~telemetry_window:window ~n
+      Tbwf_system.System.Tbwf_atomic
   in
-  let telemetry = Collector.attach ~window stack.Scenario.rt in
+  let rt = stack.Tbwf_system.System.rt in
+  let telemetry = Option.get stack.Tbwf_system.System.telemetry in
   let policy = Scenario.degraded_policy ~n ~timely () in
-  Tbwf_sim.Runtime.run stack.Scenario.rt ~policy ~steps;
-  Tbwf_sim.Runtime.stop stack.Scenario.rt;
+  Tbwf_sim.Runtime.run rt ~policy ~steps;
+  Tbwf_sim.Runtime.stop rt;
   {
     telemetry;
     describe =
@@ -187,6 +185,11 @@ let export_cmd_impl plan system full n k steps seed window pretty out
       1
     end
 
+let list_systems_impl () =
+  Fmt.pf fmt "%a@." Tbwf_system.System.pp_registry ();
+  Fmt.flush fmt ();
+  0
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 let plan_arg =
@@ -302,8 +305,16 @@ let export_cmd =
             check_schema write_schema)
       $ pretty $ out $ check_schema $ write_schema)
 
+let list_systems_cmd =
+  Cmd.v
+    (Cmd.info "list-systems"
+       ~doc:"list the system registry: ids, descriptions and paper \
+             references (the names accepted by --system)")
+    Term.(const list_systems_impl $ const ())
+
 let cmd =
   let doc = "telemetry: summaries, timelines and JSON snapshots of runs" in
-  Cmd.group (Cmd.info "tbwf_trace" ~doc) [ run_cmd; timeline_cmd; export_cmd ]
+  Cmd.group (Cmd.info "tbwf_trace" ~doc)
+    [ run_cmd; timeline_cmd; export_cmd; list_systems_cmd ]
 
 let () = exit (Cmd.eval' cmd)

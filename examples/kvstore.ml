@@ -12,7 +12,6 @@
 
 open Tbwf_sim
 open Tbwf_registers
-open Tbwf_omega
 open Tbwf_objects
 open Tbwf_core
 
@@ -21,7 +20,9 @@ let steps = 300_000
 
 let () =
   let rt = Runtime.create ~seed:14L ~n () in
-  let omega = Omega_abortable.install rt ~policy:Abort_policy.Always () in
+  let omega =
+    Tbwf_system.System.install_abortable rt ~policy:Abort_policy.Always ()
+  in
   let qa =
     Qa_object.create rt ~name:"kv" ~spec:Kv_store.spec
       ~policy:Abort_policy.Always ()

@@ -13,14 +13,15 @@
 
 open Tbwf_sim
 open Tbwf_registers
-open Tbwf_omega
 open Tbwf_consensus
 
 let n = 5
 
 let () =
   let rt = Runtime.create ~seed:31L ~n () in
-  let omega = Omega_abortable.install rt ~policy:Abort_policy.Always () in
+  let omega =
+    Tbwf_system.System.install_abortable rt ~policy:Abort_policy.Always ()
+  in
   let adapter = Consensus.Omega_adapter.attach omega.handles in
   let instance = Consensus.create rt ~name:"config" ~omega:adapter in
   let decisions = Array.make n None in

@@ -10,7 +10,6 @@
 
 open Tbwf_sim
 open Tbwf_registers
-open Tbwf_omega
 open Tbwf_objects
 open Tbwf_core
 
@@ -25,7 +24,7 @@ let () =
         the TBWF transformation (Figure 7). The always-abort policy makes
         the counter abort every operation that runs under step contention —
         the harshest adversary the spec allows. *)
-  let omega = Omega_registers.install rt in
+  let omega = Tbwf_system.System.install_atomic rt in
   let qa =
     Qa_object.create rt ~name:"counter" ~spec:Counter.spec
       ~policy:Abort_policy.Always ()

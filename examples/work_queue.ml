@@ -12,7 +12,6 @@
 
 open Tbwf_sim
 open Tbwf_registers
-open Tbwf_omega
 open Tbwf_objects
 open Tbwf_core
 
@@ -21,7 +20,7 @@ let jobs = 40
 
 let () =
   let rt = Runtime.create ~seed:53L ~n () in
-  let omega = Omega_registers.install rt in
+  let omega = Tbwf_system.System.install_atomic rt in
   let qa =
     Qa_object.create rt ~name:"work-queue" ~spec:Priority_queue.spec
       ~policy:Abort_policy.Always ()

@@ -22,6 +22,10 @@ type verdict = {
   processes : process_verdict list;
 }
 
+let tail_rate_denominator = 1_500
+
+let required_tail_ops ~n ~tail = max 2 (tail / (tail_rate_denominator * (n + 1)))
+
 let tail_steps trace ~pid ~from_step =
   let len = Trace.length trace in
   let count = ref 0 in

@@ -51,6 +51,27 @@ type verdict = {
   processes : process_verdict list;
 }
 
+val tail_rate_denominator : int
+(** [= 1_500]. The single authoritative statement of the default tail-rate
+    floor: a predicted-timely process must complete at least one operation
+    per [tail_rate_denominator × (n+1)] tail steps (and never fewer than
+    2 in total; see {!required_tail_ops}). The graceful-degradation
+    predicate demands a {e rate}, not bare non-zero progress: a booster
+    that trusts a decelerating process forever still trickles the odd
+    operation through a suspicion window — roughly one per doubling of the
+    growing gap, geometrically rarer over time — while every TBWF system
+    sustains about one operation per 1.5(n+1)k steps per timely process or
+    better. At the nemesis catalogue's dimensions the paper systems
+    complete 10–76 tail ops per timely process and the naive booster at
+    most 1–2, so this floor separates the two populations with margin on
+    both sides. [Tbwf_nemesis.Campaign.required_tail_ops] re-exports the
+    derived floor; both cite this comment as the constant's home. *)
+
+val required_tail_ops : n:int -> tail:int -> int
+(** [max 2 (tail / (tail_rate_denominator * (n + 1)))] — the default
+    [min_ops] for a [tail]-step tail with [n] processes. See
+    {!tail_rate_denominator} for the rationale. *)
+
 val check :
   ?min_ops:int ->
   ?require_sched_timely:bool ->

@@ -3,8 +3,13 @@ open Tbwf_registers
 open Tbwf_core
 open Tbwf_objects
 
+(* Every layer below runs a fixed seed derived from [base_seed]; BENCH
+   json files record it so a committed trajectory states which runs it
+   timed. *)
+let base_seed = 101L
+
 let scheduler_steps steps () =
-  let rt = Runtime.create ~seed:101L ~n:4 () in
+  let rt = Runtime.create ~seed:base_seed ~n:4 () in
   for pid = 0 to 3 do
     Runtime.spawn rt ~pid ~name:"spin" (fun () ->
         while true do
@@ -15,7 +20,7 @@ let scheduler_steps steps () =
   Runtime.stop rt
 
 let atomic_register_ops steps () =
-  let rt = Runtime.create ~seed:102L ~n:4 () in
+  let rt = Runtime.create ~seed:(Int64.add base_seed 1L) ~n:4 () in
   let reg = Atomic_reg.create rt ~name:"r" ~codec:Codec.int ~init:0 in
   for pid = 0 to 3 do
     Runtime.spawn rt ~pid ~name:"rw" (fun () ->
@@ -28,7 +33,7 @@ let atomic_register_ops steps () =
   Runtime.stop rt
 
 let abortable_register_ops steps () =
-  let rt = Runtime.create ~seed:103L ~n:2 () in
+  let rt = Runtime.create ~seed:(Int64.add base_seed 2L) ~n:2 () in
   let reg =
     Abortable_reg.create rt ~name:"r" ~codec:Codec.int ~init:0 ~writer:0
       ~reader:1 ~policy:Abort_policy.Always ()
@@ -49,7 +54,7 @@ let abortable_register_ops steps () =
   Runtime.stop rt
 
 let qa_object_ops steps () =
-  let rt = Runtime.create ~seed:104L ~n:4 () in
+  let rt = Runtime.create ~seed:(Int64.add base_seed 3L) ~n:4 () in
   let qa =
     Qa_object.create rt ~name:"qa" ~spec:Counter.spec
       ~policy:Abort_policy.Always ()
@@ -67,7 +72,7 @@ let qa_object_ops steps () =
 
 let full_tbwf_ops steps () =
   let stack =
-    Scenario.build ~seed:105L ~n:4 ~omega:Scenario.Omega_atomic
+    Scenario.build ~seed:(Int64.add base_seed 4L) ~n:4 ~omega:Scenario.Omega_atomic
       ~spec:Counter.spec
       ~next_op:(Workload.forever Counter.inc)
       ~client_pids:[ 0; 1; 2; 3 ] ()
@@ -81,7 +86,7 @@ let full_tbwf_ops steps () =
    its row doubles as the "telemetry disabled" baseline. *)
 let full_tbwf_ops_telemetry steps () =
   let stack =
-    Scenario.build ~seed:105L ~n:4 ~omega:Scenario.Omega_atomic
+    Scenario.build ~seed:(Int64.add base_seed 4L) ~n:4 ~omega:Scenario.Omega_atomic
       ~spec:Counter.spec
       ~next_op:(Workload.forever Counter.inc)
       ~client_pids:[ 0; 1; 2; 3 ] ()

@@ -7,6 +7,10 @@
     [bench/main.ml]; [compute]/[report] give a coarse self-timed table for
     the experiments binary. *)
 
+val base_seed : int64
+(** Every layer's runtime seed derives from this constant; BENCH json
+    files record it as run provenance. *)
+
 val runners : (string * (unit -> unit)) list
 (** Each thunk builds a small scenario and runs a fixed number of steps;
     label describes the layer exercised. *)

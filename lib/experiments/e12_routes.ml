@@ -53,7 +53,8 @@ let cas_universal_stack rt ~n =
 let tbwf_stack rt ~n =
   ignore n;
   let handles =
-    (Omega_abortable.install rt ~policy:Abort_policy.Always ()).Omega_abortable.handles
+    (Tbwf_system.System.install_abortable rt ~policy:Abort_policy.Always ())
+      .Omega_abortable.handles
   in
   let qa =
     Qa_object.create rt ~name:"tbwf-deque" ~spec:Deque_obj.spec

@@ -59,7 +59,7 @@ let compute ?(quick = false) () =
   let dp_rows = List.rev !dp_rows in
   (* Run 2: Ω∆ on the same scenario shape (same policy, same crash). *)
   let rt = Runtime.create ~seed:131L ~n () in
-  let om = Omega_registers.install rt in
+  let om = Tbwf_system.System.install_atomic rt in
   for pid = 0 to n - 1 do
     Runtime.spawn rt ~pid ~name:"pcand" (fun () ->
         om.Omega_registers.handles.(pid).Omega_spec.candidate := true)

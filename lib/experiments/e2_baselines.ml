@@ -1,7 +1,6 @@
 open Tbwf_sim
-open Tbwf_registers
 open Tbwf_core
-open Tbwf_objects
+open Tbwf_system
 
 type row = {
   system : string;
@@ -16,12 +15,10 @@ type result = { n : int; segments : int; segment_steps : int; rows : row list }
 let sum_pids stats pids =
   List.fold_left (fun acc pid -> acc + stats.Workload.completed.(pid)) 0 pids
 
-let run_system ~system ~n ~segments ~segment_steps ~seed ~make_invoke =
-  let rt = Runtime.create ~seed ~n () in
-  let invoke = make_invoke rt in
-  let stats = Workload.fresh_stats ~n in
-  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
-    ~next_op:(Workload.forever Counter.inc);
+let run_system ~system ~n ~segments ~segment_steps ~seed ~id =
+  let stack = System.build ~seed ~n id in
+  let rt = stack.System.rt in
+  let stats = stack.System.stats in
   let timely = List.init (n - 1) (fun i -> i + 1) in
   let policy = Scenario.degraded_policy ~n ~timely () in
   let segment_totals = ref [] in
@@ -42,31 +39,6 @@ let run_system ~system ~n ~segments ~segment_steps ~seed ~make_invoke =
     last_segment = List.nth totals (List.length totals - 1);
   }
 
-let tbwf_invoke rt =
-  let n = Runtime.n rt in
-  let handles = (Tbwf_omega.Omega_registers.install rt).handles in
-  let qa =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:Abort_policy.Always ()
-  in
-  ignore n;
-  Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
-
-let naive_invoke rt =
-  let handles = (Baselines.Naive_booster.install rt).handles in
-  let qa =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:Abort_policy.Always ()
-  in
-  Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
-
-let retry_invoke rt =
-  let qa =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:Abort_policy.Always ()
-  in
-  Baselines.retry_invoke qa
-
 let compute ?(quick = false) () =
   let n = if quick then 4 else 6 in
   let segments = if quick then 4 else 8 in
@@ -74,11 +46,11 @@ let compute ?(quick = false) () =
   let rows =
     [
       run_system ~system:"TBWF (this paper)" ~n ~segments ~segment_steps
-        ~seed:21L ~make_invoke:tbwf_invoke;
+        ~seed:21L ~id:System.Tbwf_atomic;
       run_system ~system:"naive booster [7,8,11]" ~n ~segments ~segment_steps
-        ~seed:21L ~make_invoke:naive_invoke;
+        ~seed:21L ~id:System.Naive_booster;
       run_system ~system:"obstruction-free retry" ~n ~segments ~segment_steps
-        ~seed:21L ~make_invoke:retry_invoke;
+        ~seed:21L ~id:System.Retry;
     ]
   in
   { n; segments; segment_steps; rows }

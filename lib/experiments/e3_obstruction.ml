@@ -1,7 +1,6 @@
 open Tbwf_sim
-open Tbwf_registers
 open Tbwf_core
-open Tbwf_objects
+open Tbwf_system
 
 type row = {
   system : string;
@@ -13,13 +12,10 @@ type row = {
 
 type result = { n : int; rows : row list; all_pass : bool }
 
-let run_one ~system ~n ~solo_pid ~contention_steps ~solo_steps ~seed
-    ~make_invoke =
-  let rt = Runtime.create ~seed ~n () in
-  let invoke = make_invoke rt in
-  let stats = Workload.fresh_stats ~n in
-  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
-    ~next_op:(Workload.forever Counter.inc);
+let run_one ~system ~n ~solo_pid ~contention_steps ~solo_steps ~seed ~id =
+  let stack = System.build ~seed ~n id in
+  let rt = stack.System.rt in
+  let stats = stack.System.stats in
   let policy = Policy.solo_after ~n ~pid:solo_pid ~step:contention_steps in
   Runtime.run rt ~policy ~steps:contention_steps;
   let before = stats.Workload.completed.(solo_pid) in
@@ -34,21 +30,6 @@ let run_one ~system ~n ~solo_pid ~contention_steps ~solo_steps ~seed
     solo_progress = ops_in_solo > 0;
   }
 
-let tbwf_invoke rt =
-  let handles = (Tbwf_omega.Omega_registers.install rt).handles in
-  let qa =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:Abort_policy.Always ()
-  in
-  Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
-
-let retry_invoke rt =
-  let qa =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:Abort_policy.Always ()
-  in
-  Baselines.retry_invoke qa
-
 let compute ?(quick = false) () =
   let n = 4 in
   let contention_steps = if quick then 10_000 else 40_000 in
@@ -59,9 +40,9 @@ let compute ?(quick = false) () =
       (fun solo_pid ->
         [
           run_one ~system:"TBWF" ~n ~solo_pid ~contention_steps ~solo_steps
-            ~seed:31L ~make_invoke:tbwf_invoke;
+            ~seed:31L ~id:System.Tbwf_atomic;
           run_one ~system:"retry" ~n ~solo_pid ~contention_steps ~solo_steps
-            ~seed:31L ~make_invoke:retry_invoke;
+            ~seed:31L ~id:System.Retry;
         ])
       pids
   in

@@ -26,7 +26,7 @@ let compute ?(quick = false) () =
   let segments = if quick then 10 else 20 in
   let segment_steps = if quick then 5_000 else 20_000 in
   let rt = Runtime.create ~seed:77L ~n () in
-  let om = Omega_registers.install rt in
+  let om = Tbwf_system.System.install_atomic rt in
   (* Reuse the scenario drivers but keep our own runtime to read the trace. *)
   let handles = om.handles in
   List.iter

@@ -1,6 +1,5 @@
 open Tbwf_sim
 open Tbwf_omega
-open Tbwf_core
 
 type classes = {
   pcands : int list;
@@ -84,10 +83,10 @@ let run ?(seed = 0xFEEDL) ?(flicker = (300, 600, 1.5)) ?(rcand_phase = 400)
   let rt = Runtime.create ~seed ~n () in
   let handles =
     match omega with
-    | Scenario.Omega_atomic -> (Omega_registers.install rt).handles
+    | Scenario.Omega_atomic -> (Tbwf_system.System.install_atomic rt).handles
     | Scenario.Omega_abortable policy ->
-      (Omega_abortable.install rt ~policy ()).handles
-    | Scenario.Omega_naive -> (Baselines.Naive_booster.install rt).handles
+      (Tbwf_system.System.install_abortable rt ~policy ()).handles
+    | Scenario.Omega_naive -> (Tbwf_system.System.install_naive rt).handles
   in
   spawn_drivers rt handles classes ~rcand_phase ~ncand_phase;
   List.iter (fun (pid, step) -> Runtime.crash_at rt ~pid ~step) classes.crashes;

@@ -1,7 +1,5 @@
 open Tbwf_sim
 open Tbwf_registers
-open Tbwf_omega
-open Tbwf_objects
 open Tbwf_core
 
 type omega_impl =
@@ -17,36 +15,37 @@ let pp_omega_impl fmt = function
 
 type stack = {
   rt : Runtime.t;
-  handles : Omega_spec.handle array;
-  qa : Qa_intf.t;
+  handles : Tbwf_omega.Omega_spec.handle array;
+  qa : Tbwf_objects.Qa_intf.t;
   tbwf : Tbwf.t;
   stats : Workload.stats;
 }
 
+(* All wiring lives in the System layer; a scenario is a System stack
+   narrowed to the boosted systems (so [tbwf] is total). *)
 let build ?(seed = 0xC0FFEEL) ?(canonical = true) ?(qa_universal = false)
     ?(qa_policy = Abort_policy.Always) ~n ~omega ~spec ~next_op ~client_pids
     () =
-  let rt = Runtime.create ~seed ~n () in
-  let handles =
+  let id, mesh_policy =
     match omega with
-    | Omega_atomic -> (Omega_registers.install rt).Omega_registers.handles
+    | Omega_atomic -> Tbwf_system.System.Tbwf_atomic, Abort_policy.Always
     | Omega_abortable policy ->
-      (Omega_abortable.install rt ~policy ()).Omega_abortable.handles
-    | Omega_naive -> (Baselines.Naive_booster.install rt).Baselines.Naive_booster.handles
+      ( (if qa_universal then Tbwf_system.System.Tbwf_universal
+         else Tbwf_system.System.Tbwf_abortable),
+        policy )
+    | Omega_naive -> Tbwf_system.System.Naive_booster, Abort_policy.Always
   in
-  let qa =
-    if qa_universal then
-      Qa_universal.create rt ~name:(spec.Seq_spec.name ^ "-qa") ~spec
-        ~policy:qa_policy ()
-    else
-      Qa_object.create rt ~name:(spec.Seq_spec.name ^ "-qa") ~spec
-        ~policy:qa_policy ()
+  let s =
+    Tbwf_system.System.build ~seed ~canonical ~qa_universal ~qa_policy
+      ~mesh_policy ~spec ~next_op ~client_pids ~n id
   in
-  let tbwf = Tbwf.make ~qa ~omega_handles:handles ~canonical () in
-  let stats = Workload.fresh_stats ~n in
-  Workload.spawn_clients rt ~pids:client_pids ~stats ~invoke:(Tbwf.invoke tbwf)
-    ~next_op;
-  { rt; handles; qa; tbwf; stats }
+  {
+    rt = s.Tbwf_system.System.rt;
+    handles = s.Tbwf_system.System.handles;
+    qa = s.Tbwf_system.System.qa;
+    tbwf = Option.get s.Tbwf_system.System.tbwf;
+    stats = s.Tbwf_system.System.stats;
+  }
 
 let degraded_policy ?(untimely_pattern = `Slowing (60, 1.15)) ~n ~timely () =
   let k = max 1 (List.length timely) in
@@ -72,7 +71,8 @@ let run_sampled stack ~policy ~segments ~segment_steps =
   for _seg = 1 to segments do
     Runtime.run stack.rt ~policy ~steps:segment_steps;
     samples :=
-      Omega_spec.take_sample ~at_step:(Runtime.now stack.rt) stack.handles
+      Tbwf_omega.Omega_spec.take_sample ~at_step:(Runtime.now stack.rt)
+        stack.handles
       :: !samples
   done;
   List.rev !samples

@@ -1,79 +1,25 @@
 open Tbwf_sim
 open Tbwf_registers
 open Tbwf_check
-open Tbwf_omega
-open Tbwf_objects
 open Tbwf_core
+open Tbwf_system
 
 (* --- systems under test -------------------------------------------------- *)
 
-type system =
+(* The catalogue of systems is the System registry's; re-exported so
+   existing pattern matches over [Campaign.system] keep compiling. *)
+type system = System.id =
   | Tbwf_atomic
   | Tbwf_abortable
   | Tbwf_universal
   | Naive_booster
   | Retry
 
-let system_name = function
-  | Tbwf_atomic -> "tbwf-atomic"
-  | Tbwf_abortable -> "tbwf-abortable"
-  | Tbwf_universal -> "tbwf-universal"
-  | Naive_booster -> "naive-booster"
-  | Retry -> "retry"
-
-let system_of_name = function
-  | "tbwf-atomic" -> Ok Tbwf_atomic
-  | "tbwf-abortable" -> Ok Tbwf_abortable
-  | "tbwf-universal" -> Ok Tbwf_universal
-  | "naive-booster" -> Ok Naive_booster
-  | "retry" -> Ok Retry
-  | s -> Error (Fmt.str "unknown system %S" s)
-
-let paper_systems = [ Tbwf_atomic; Tbwf_abortable; Tbwf_universal ]
-let baseline_systems = [ Naive_booster; Retry ]
-let all_systems = paper_systems @ baseline_systems
-
-(* Build the object stack for one system, with the plan's channel-level
-   atoms compiled into the abort policies of the registers they target. *)
-let build_invoke plan system rt =
-  let qa_policy =
-    Fault_plan.abort_policy plan ~target:Fault_plan.Qa
-      ~base:Abort_policy.Always
-  in
-  let mesh_policy =
-    Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
-      ~base:Abort_policy.Always
-  in
-  let qa_direct () =
-    Qa_object.create rt ~name:"counter-qa" ~spec:Counter.spec
-      ~policy:qa_policy ()
-  in
-  match system with
-  | Tbwf_atomic ->
-    let handles = (Omega_registers.install rt).Omega_registers.handles in
-    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
-  | Tbwf_abortable ->
-    let handles =
-      (Omega_abortable.install rt ~policy:mesh_policy ())
-        .Omega_abortable.handles
-    in
-    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
-  | Tbwf_universal ->
-    let handles =
-      (Omega_abortable.install rt ~policy:mesh_policy ())
-        .Omega_abortable.handles
-    in
-    let qa =
-      Qa_universal.create rt ~name:"counter-qa" ~spec:Counter.spec
-        ~policy:qa_policy ()
-    in
-    Tbwf.invoke (Tbwf.make ~qa ~omega_handles:handles ())
-  | Naive_booster ->
-    let handles =
-      (Baselines.Naive_booster.install rt).Baselines.Naive_booster.handles
-    in
-    Tbwf.invoke (Tbwf.make ~qa:(qa_direct ()) ~omega_handles:handles ())
-  | Retry -> Baselines.retry_invoke (qa_direct ())
+let system_name = System.to_string
+let system_of_name = System.of_string
+let paper_systems = System.paper_systems
+let baseline_systems = System.baseline_systems
+let all_systems = System.all
 
 (* --- running one plan against one system --------------------------------- *)
 
@@ -89,27 +35,30 @@ type run_result = {
 
 let default_seed = 0x4E454D45L (* "NEME" *)
 
-(* The graceful-degradation predicate demands a tail *rate*, not bare
-   non-zero progress: a booster that trusts the slow process forever still
-   trickles the odd operation through a suspicion window (roughly one per
-   doubling of the decelerating gap — geometrically rarer over time),
-   while every TBWF system sustains about one operation per 1.5(n+1)k
-   steps per timely process or better. Measured at the catalogue's
-   dimensions: paper systems complete 10–76 ops per timely process in the
-   tail, the naive booster at most 1–2 when the slow control runs from
-   step 0, so one op per 1 500(n+1) tail steps (3 at quick dimensions, 11
-   at full) separates the two populations with margin on both sides. *)
-let required_tail_ops ~n ~tail = max 2 (tail / (1_500 * (n + 1)))
+(* The rate floor and its rationale live with the checker; see the
+   [Tbwf_check.Degradation.tail_rate_denominator] doc comment. *)
+let required_tail_ops = Degradation.required_tail_ops
 
 let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
   let n = Fault_plan.n plan in
   let horizon = Fault_plan.horizon plan in
-  let rt = Runtime.create ~seed ~n () in
-  let telemetry = Tbwf_telemetry.Collector.attach rt in
-  let invoke = build_invoke plan system rt in
-  let stats = Workload.fresh_stats ~n in
-  Workload.spawn_clients rt ~pids:(List.init n Fun.id) ~stats ~invoke
-    ~next_op:(Workload.forever Counter.inc);
+  (* The plan's channel-level atoms compile into the abort policies of the
+     registers they target; everything else is the registry's stock stack
+     (one counter client per process, telemetry attached). *)
+  let qa_policy =
+    Fault_plan.abort_policy plan ~target:Fault_plan.Qa
+      ~base:Abort_policy.Always
+  in
+  let mesh_policy =
+    Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
+      ~base:Abort_policy.Always
+  in
+  let stack =
+    System.build ~seed ~qa_policy ~mesh_policy ~telemetry:true ~n system
+  in
+  let rt = stack.System.rt in
+  let telemetry = Option.get stack.System.telemetry in
+  let stats = stack.System.stats in
   Fault_plan.install_crashes plan rt;
   let policy = Fault_plan.policy plan in
   (* Tail = the last quarter of the horizon, pushed later if the plan

@@ -13,9 +13,13 @@
     fault to mishandle: the campaigns double as negative controls showing
     the checker rejects boosting-style algorithms. *)
 
-(** {2 Systems under test} *)
+(** {2 Systems under test}
 
-type system =
+    The catalogue of systems is owned by {!Tbwf_system.System}; the type
+    is re-exported (with the equation visible) so campaign code and
+    registry code interoperate without conversion. *)
+
+type system = Tbwf_system.System.id =
   | Tbwf_atomic  (** Figs 2–3 Ω∆ over atomic registers + Fig 7 (Thm 11–12, 14) *)
   | Tbwf_abortable  (** Figs 4–6 Ω∆ over abortable registers + Fig 7 (Thm 13) *)
   | Tbwf_universal
@@ -48,11 +52,10 @@ type run_result = {
 val default_seed : int64
 
 val required_tail_ops : n:int -> tail:int -> int
-(** The default rate floor for a [tail]-step tail with [n] processes: one
-    operation per 1 500(n+1) tail steps, at least 2. The floor sits well
-    below the measured sustained rate of every TBWF system and well above
-    the geometrically rarefying trickle of a booster that has been lured
-    into trusting a decelerating process. *)
+(** The default rate floor for a [tail]-step tail with [n] processes —
+    {!Tbwf_check.Degradation.required_tail_ops}, re-exported. The constant
+    and its rationale live in one place: the
+    {!Tbwf_check.Degradation.tail_rate_denominator} doc comment. *)
 
 val run_plan :
   ?seed:int64 ->

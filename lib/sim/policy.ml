@@ -13,13 +13,17 @@ let mem pid runnable = Array.exists (fun p -> p = pid) runnable
 let round_robin () =
   let last = ref (-1) in
   let next ~step:_ ~runnable ~rng:_ =
-    if Array.length runnable = 0 then None
+    let len = Array.length runnable in
+    if len = 0 then None
     else begin
-      (* smallest pid strictly greater than [!last], wrapping around *)
-      let above = Array.to_list runnable |> List.filter (fun p -> p > !last) in
-      let chosen =
-        match above with p :: _ -> p | [] -> runnable.(0)
+      (* smallest pid strictly greater than [!last], wrapping around:
+         first match in array order (the runtime hands pids sorted) *)
+      let rec find i =
+        if i >= len then runnable.(0)
+        else if runnable.(i) > !last then runnable.(i)
+        else find (i + 1)
       in
+      let chosen = find 0 in
       last := chosen;
       Some chosen
     end

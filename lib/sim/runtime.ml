@@ -26,9 +26,15 @@ type task = {
   mutable t_state : task_state;
 }
 
+(* Tasks live in a growable array (spawn order, first [n_tasks] slots) so
+   the per-step round-robin pick walks the array in place; [live] counts
+   tasks not yet Finished, so runnability is one comparison instead of a
+   list scan. *)
 type proc = {
   pid : int;
-  mutable tasks : task list;  (* in spawn order *)
+  mutable tasks : task array;
+  mutable n_tasks : int;
+  mutable live : int;
   mutable next_task : int;  (* round-robin cursor *)
   mutable is_crashed : bool;
 }
@@ -41,12 +47,21 @@ type t = {
   procs : proc array;
   mutable step : int;
   mutable next_obj_id : int;
-  pending : (int, pending list) Hashtbl.t;  (* obj id -> in-flight ops *)
-  event_counts : (int, int) Hashtbl.t;
+  (* Object ids are dense (allocated by [register_object]), so in-flight
+     ops and event counters index arrays instead of hashtables. *)
+  mutable pending_by_obj : pending list array;  (* obj id -> in-flight ops *)
+  mutable events_by_obj : int array;
       (* obj id -> number of invocation/response events so far *)
   mutable crashes : (int * int) list;  (* (step, pid), unsorted *)
   mutable current : (int * task) option;  (* set while a task runs *)
   mutable sink : Sink.t;  (* telemetry sink; Sink.nil = disabled *)
+  (* Cached runnable-pid set, recomputed only when membership can have
+     changed (spawn, a proc's last task finishing, a crash). The cache is
+     replaced by a fresh array on recomputation, never mutated in place,
+     so arrays handed to policies (and captured by e.g.
+     [Policy.Replay_mismatch]) stay stable. *)
+  mutable runnable_cache : int array;
+  mutable runnable_dirty : bool;
 }
 
 type _ Effect.t +=
@@ -66,14 +81,25 @@ let create ?(seed = 0xC0FFEEL) ~n () =
        draw and diverge from the run it replays. *)
     obj_rng = Rng.create (Int64.logxor seed 0x6F626A5F726E6721L);
     trace = Trace.create ();
-    procs = Array.init n (fun pid -> { pid; tasks = []; next_task = 0; is_crashed = false });
+    procs =
+      Array.init n (fun pid ->
+          {
+            pid;
+            tasks = [||];
+            n_tasks = 0;
+            live = 0;
+            next_task = 0;
+            is_crashed = false;
+          });
     step = 0;
     next_obj_id = 0;
-    pending = Hashtbl.create 64;
-    event_counts = Hashtbl.create 64;
+    pending_by_obj = Array.make 16 [];
+    events_by_obj = Array.make 16 0;
     crashes = [];
     current = None;
     sink = Sink.nil;
+    runnable_cache = [||];
+    runnable_dirty = true;
   }
 
 let n t = t.num
@@ -94,17 +120,38 @@ let telemetry_active t = t.sink.Sink.active
 let signal t ~pid s =
   if t.sink.Sink.active then t.sink.Sink.on_signal ~step:t.step ~pid s
 
+let ensure_obj t id =
+  let len = Array.length t.events_by_obj in
+  if id >= len then begin
+    let cap = max (id + 1) (2 * len) in
+    let events = Array.make cap 0 in
+    Array.blit t.events_by_obj 0 events 0 len;
+    t.events_by_obj <- events;
+    let pending = Array.make cap [] in
+    Array.blit t.pending_by_obj 0 pending 0 len;
+    t.pending_by_obj <- pending
+  end
+
 let register_object t ~name ~respond =
   let id = t.next_obj_id in
   t.next_obj_id <- id + 1;
+  ensure_obj t id;
   Shared.make ~id ~name ~respond
 
 let spawn ?(layer = Sink.Other) t ~pid ~name body =
   if pid < 0 || pid >= t.num then invalid_arg "Runtime.spawn: bad pid";
   let proc = t.procs.(pid) in
-  proc.tasks <-
-    proc.tasks
-    @ [ { t_name = name; t_pid = pid; t_layer = layer; t_state = Ready body } ]
+  let task = { t_name = name; t_pid = pid; t_layer = layer; t_state = Ready body } in
+  let cap = Array.length proc.tasks in
+  if proc.n_tasks = cap then begin
+    let grown = Array.make (max 4 (2 * cap)) task in
+    Array.blit proc.tasks 0 grown 0 cap;
+    proc.tasks <- grown
+  end;
+  proc.tasks.(proc.n_tasks) <- task;
+  proc.n_tasks <- proc.n_tasks + 1;
+  proc.live <- proc.live + 1;
+  t.runnable_dirty <- true
 
 let crash_at t ~pid ~step = t.crashes <- (step, pid) :: t.crashes
 
@@ -119,17 +166,29 @@ let await cond =
     yield ()
   done
 
+(* All transitions into [Finished] funnel through here so the proc's
+   [live] count decrements exactly once per task: crash/stop teardown
+   first finishes the task, then discontinues its continuation, and the
+   handler's [exnc] lands here a second time as a no-op. *)
+let finish_task t task =
+  match task.t_state with
+  | Finished -> ()
+  | Ready _ | Suspended_local _ | Suspended_call _ | Running ->
+    task.t_state <- Finished;
+    let proc = t.procs.(task.t_pid) in
+    proc.live <- proc.live - 1;
+    if proc.live = 0 then t.runnable_dirty <- true
+
 (* --- pending-operation bookkeeping ------------------------------------- *)
 
-let events_of t obj_id =
-  Option.value (Hashtbl.find_opt t.event_counts obj_id) ~default:0
+let events_of t obj_id = t.events_by_obj.(obj_id)
 
 let bump_events t obj_id =
-  Hashtbl.replace t.event_counts obj_id (events_of t obj_id + 1)
+  t.events_by_obj.(obj_id) <- t.events_by_obj.(obj_id) + 1
 
 let add_pending t pend =
   let obj_id = pend.p_obj.Shared.id in
-  let existing = Option.value (Hashtbl.find_opt t.pending obj_id) ~default:[] in
+  let existing = t.pending_by_obj.(obj_id) in
   if existing <> [] then begin
     pend.p_overlapped <- true;
     List.iter
@@ -139,13 +198,14 @@ let add_pending t pend =
         pend.p_overlap_ops <- other.p_op :: pend.p_overlap_ops)
       existing
   end;
-  Hashtbl.replace t.pending obj_id (pend :: existing)
+  t.pending_by_obj.(obj_id) <- pend :: existing
 
 let remove_pending t pend =
   let obj_id = pend.p_obj.Shared.id in
-  let existing = Option.value (Hashtbl.find_opt t.pending obj_id) ~default:[] in
-  let remaining = List.filter (fun other -> other != pend) existing in
-  Hashtbl.replace t.pending obj_id remaining;
+  let remaining =
+    List.filter (fun other -> other != pend) t.pending_by_obj.(obj_id)
+  in
+  t.pending_by_obj.(obj_id) <- remaining;
   List.length remaining
 
 let respond_pending t pend =
@@ -187,11 +247,11 @@ let respond_pending t pend =
 let handler t task =
   let open Effect.Deep in
   {
-    retc = (fun () -> task.t_state <- Finished);
+    retc = (fun () -> finish_task t task);
     exnc =
       (fun e ->
         match e with
-        | Simulation_over -> task.t_state <- Finished
+        | Simulation_over -> finish_task t task
         | e ->
           let bt = Printexc.get_raw_backtrace () in
           Fmt.epr "task %S (pid %d) raised: %s@." task.t_name task.t_pid
@@ -207,6 +267,7 @@ let handler t task =
         | Call (obj, op) ->
           Some
             (fun (k : (a, unit) continuation) ->
+              ensure_obj t obj.Shared.id;
               bump_events t obj.Shared.id;
               let pend =
                 {
@@ -244,13 +305,13 @@ let runnable_task task =
   | Ready _ | Suspended_local _ | Suspended_call _ -> true
   | Running | Finished -> false
 
-let proc_runnable proc =
-  (not proc.is_crashed) && List.exists runnable_task proc.tasks
+let proc_runnable proc = (not proc.is_crashed) && proc.live > 0
 
-(* Pick the next runnable task of [proc], round-robin. *)
+(* Pick the next runnable task of [proc], round-robin over the task array
+   starting at the cursor. Allocation-free. *)
 let pick_task proc =
-  let tasks = Array.of_list proc.tasks in
-  let count = Array.length tasks in
+  let tasks = proc.tasks in
+  let count = proc.n_tasks in
   let rec search tries idx =
     if tries >= count then None
     else
@@ -279,6 +340,7 @@ let exec_task_step t task =
 
 let crash_proc t proc =
   proc.is_crashed <- true;
+  t.runnable_dirty <- true;
   if t.sink.Sink.active then
     signal t ~pid:proc.pid (Sink.Crash { pid = proc.pid });
   (* Resolve any in-flight operation so the object's state is well defined,
@@ -287,31 +349,60 @@ let crash_proc t proc =
     match task.t_state with
     | Suspended_call (k, pend) ->
       let (_ : Value.t) = respond_pending t pend in
-      task.t_state <- Finished;
+      finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
     | Suspended_local k ->
-      task.t_state <- Finished;
+      finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
-    | Ready _ -> task.t_state <- Finished
+    | Ready _ -> finish_task t task
     | Running | Finished -> ()
   in
-  List.iter finish proc.tasks
+  for i = 0 to proc.n_tasks - 1 do
+    finish proc.tasks.(i)
+  done
 
 let apply_due_crashes t =
-  let due, later = List.partition (fun (s, _) -> s <= t.step) t.crashes in
-  t.crashes <- later;
-  List.iter
-    (fun (_, pid) ->
-      let proc = t.procs.(pid) in
-      if not proc.is_crashed then crash_proc t proc)
-    due
+  match t.crashes with
+  | [] -> ()
+  | _ ->
+    let due, later = List.partition (fun (s, _) -> s <= t.step) t.crashes in
+    t.crashes <- later;
+    List.iter
+      (fun (_, pid) ->
+        let proc = t.procs.(pid) in
+        if not proc.is_crashed then crash_proc t proc)
+      due
 
+let recompute_runnable t =
+  let count = ref 0 in
+  Array.iter (fun p -> if proc_runnable p then incr count) t.procs;
+  let fresh = Array.make !count 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun p ->
+      if proc_runnable p then begin
+        fresh.(!j) <- p.pid;
+        incr j
+      end)
+    t.procs;
+  t.runnable_cache <- fresh;
+  t.runnable_dirty <- false
+
+(* The public accessor copies the cache: callers of the original
+   implementation received a fresh array per call and could do anything
+   with it; only the internal hot loop reads the cache directly. *)
 let runnable_pids t =
   apply_due_crashes t;
-  Array.to_list t.procs
-  |> List.filter proc_runnable
-  |> List.map (fun p -> p.pid)
-  |> Array.of_list
+  if t.runnable_dirty then recompute_runnable t;
+  Array.copy t.runnable_cache
+
+let run_task_step t ~pid task =
+  Trace.record_step t.trace ~pid;
+  if t.sink.Sink.active then
+    t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
+  t.current <- Some (pid, task);
+  exec_task_step t task;
+  t.current <- None
 
 let step t ~pid =
   apply_due_crashes t;
@@ -321,13 +412,7 @@ let step t ~pid =
     invalid_arg (Fmt.str "Runtime.step: pid %d is not runnable" pid);
   (match pick_task proc with
   | None -> assert false (* proc_runnable guarantees a runnable task *)
-  | Some task ->
-    Trace.record_step t.trace ~pid;
-    if t.sink.Sink.active then
-      t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
-    t.current <- Some (pid, task);
-    exec_task_step t task;
-    t.current <- None);
+  | Some task -> run_task_step t ~pid task);
   t.step <- t.step + 1
 
 let record_idle_step t =
@@ -342,24 +427,20 @@ let idle_step t =
 
 let run t ~policy ~steps =
   let deadline = t.step + steps in
+  let pick = Policy.next policy in
   let continue_run = ref true in
   while !continue_run && t.step < deadline do
-    let runnable = runnable_pids t in
+    apply_due_crashes t;
+    if t.runnable_dirty then recompute_runnable t;
+    let runnable = t.runnable_cache in
     if Array.length runnable = 0 then continue_run := false
     else begin
-      (match Policy.next policy ~step:t.step ~runnable ~rng:t.rng with
+      (match pick ~step:t.step ~runnable ~rng:t.rng with
       | None -> record_idle_step t (* idle step *)
       | Some pid ->
-        let proc = t.procs.(pid) in
-        (match pick_task proc with
+        (match pick_task t.procs.(pid) with
         | None -> record_idle_step t
-        | Some task ->
-          Trace.record_step t.trace ~pid;
-          if t.sink.Sink.active then
-            t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
-          t.current <- Some (pid, task);
-          exec_task_step t task;
-          t.current <- None));
+        | Some task -> run_task_step t ~pid task));
       t.step <- t.step + 1
     end
   done
@@ -368,13 +449,18 @@ let stop t =
   let teardown task =
     match task.t_state with
     | Suspended_local k ->
-      task.t_state <- Finished;
+      finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
     | Suspended_call (k, pend) ->
       let (_ : int) = remove_pending t pend in
-      task.t_state <- Finished;
+      finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
-    | Ready _ -> task.t_state <- Finished
+    | Ready _ -> finish_task t task
     | Running | Finished -> ()
   in
-  Array.iter (fun proc -> List.iter teardown proc.tasks) t.procs
+  Array.iter
+    (fun proc ->
+      for i = 0 to proc.n_tasks - 1 do
+        teardown proc.tasks.(i)
+      done)
+    t.procs

@@ -1,0 +1,142 @@
+(** The stack registry: one place that wires every system under test.
+
+    A {e system} is a complete object stack — an Ω∆ implementation (or
+    none), a query-abortable object, and an invoke path — identified by
+    {!id} and catalogued in {!registry} with its description and paper
+    reference. Every consumer of a full stack (the experiment scenarios,
+    the nemesis campaigns, the trace/nemesis/demo CLIs and the bench
+    harness) builds it through {!build}, or through the lower-level
+    {!install_atomic}/{!install_abortable}/{!install_naive}/{!create_qa}
+    when it needs the raw implementation records (monitor meshes, counter
+    registers) rather than a client-ready stack.
+
+    Refactor safety is mechanized: [test/golden/system_fingerprints.txt]
+    pins each system's [Trace.fingerprint] under two schedules as captured
+    from the historical per-consumer wiring, and [test/test_system.ml]
+    asserts {!build} still reproduces them byte-for-byte. *)
+
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+open Tbwf_objects
+open Tbwf_core
+
+(** {2 The registry} *)
+
+type id =
+  | Tbwf_atomic  (** Figs 2–3 Ω∆ over atomic registers + Fig 7 (Thm 11–12, 14) *)
+  | Tbwf_abortable  (** Figs 4–6 Ω∆ over abortable registers + Fig 7 (Thm 13) *)
+  | Tbwf_universal
+      (** as [Tbwf_abortable] but with the query-abortable object itself
+          built by the universal QA construction *)
+  | Naive_booster  (** min-pid leader, adaptive timeouts, no punishment *)
+  | Retry  (** obstruction-free retry, no boosting at all *)
+
+type info = {
+  id : id;
+  name : string;  (** stable CLI identifier, e.g. ["tbwf-atomic"] *)
+  summary : string;  (** one-line description *)
+  figure : string;  (** paper reference (figures/theorems/sections) *)
+}
+
+val registry : info list
+(** All five systems, paper systems first. *)
+
+val all : id list
+val paper_systems : id list
+val baseline_systems : id list
+
+val info : id -> info
+val to_string : id -> string
+val of_string : string -> (id, string) result
+(** Total inverse of {!to_string} over registry names; [Error] lists the
+    known names. *)
+
+val pp : Format.formatter -> id -> unit
+
+val pp_registry : Format.formatter -> unit -> unit
+(** The [list-systems] rendering: one entry per system with its summary
+    and paper reference. *)
+
+(** {2 Low-level wiring}
+
+    Named entry points over the individual installers, so that stack
+    construction outside [lib/system] is grep-verifiably confined to this
+    module (tests excepted). They return the full implementation records —
+    monitor meshes, counter registers, heartbeat meshes — for experiments
+    that measure the internals rather than the client interface. *)
+
+val install_atomic :
+  ?self_punishment:bool -> Runtime.t -> Omega_registers.t
+(** The Figure 3 Ω∆ over activity monitors and atomic registers.
+    [self_punishment] (default true) is the E11 ablation switch. *)
+
+val install_abortable :
+  Runtime.t ->
+  policy:Abort_policy.t ->
+  ?write_effect:Abort_policy.write_effect ->
+  unit ->
+  Omega_abortable.t
+(** The Figure 6 Ω∆ over abortable registers; [policy] governs when
+    concurrent register operations abort. *)
+
+val install_naive : Runtime.t -> Baselines.Naive_booster.t
+(** The non-gracefully-degrading booster baseline. *)
+
+val create_qa :
+  ?universal:bool ->
+  Runtime.t ->
+  name:string ->
+  spec:Seq_spec.t ->
+  policy:Abort_policy.t ->
+  ?effect_on_abort:Abort_policy.write_effect ->
+  unit ->
+  Qa_intf.t
+(** A query-abortable object: the direct implementation by default, the
+    layered universal (RMW-cell) construction with [universal:true]. *)
+
+(** {2 Building a full stack} *)
+
+type stack = {
+  system : id;
+  rt : Runtime.t;
+  handles : Omega_spec.handle array;
+      (** Ω∆ output handles, indexed by pid; [[||]] for {!Retry} *)
+  qa : Qa_intf.t;
+  tbwf : Tbwf.t option;  (** [None] for {!Retry} (no transformation) *)
+  invoke : Value.t -> Value.t;
+      (** the system's operation path: [Tbwf.invoke] for boosted systems,
+          the bare retry automaton for {!Retry} *)
+  stats : Workload.stats;
+  telemetry : Tbwf_telemetry.Collector.t option;
+}
+
+val build :
+  ?seed:int64 ->
+  ?canonical:bool ->
+  ?qa_policy:Abort_policy.t ->
+  ?mesh_policy:Abort_policy.t ->
+  ?qa_universal:bool ->
+  ?spec:Seq_spec.t ->
+  ?next_op:(pid:int -> k:int -> Value.t option) ->
+  ?client_pids:int list ->
+  ?telemetry:bool ->
+  ?telemetry_window:int ->
+  n:int ->
+  id ->
+  stack
+(** Wire one system end to end: create the runtime, optionally attach a
+    telemetry collector, install the system's Ω∆, create its
+    query-abortable object (named [spec.name ^ "-qa"]), assemble the
+    invoke path and spawn the client workload.
+
+    Defaults: [canonical:true] (Definition 6's leader-wait guard),
+    [qa_policy]/[mesh_policy] always-abort-on-contention, [qa_universal]
+    per the system (true only for {!Tbwf_universal}; overridable, e.g. an
+    atomic-Ω∆ stack over the universal QA object), [spec] the counter,
+    [next_op] an endless stream of increments, [client_pids] all pids,
+    [telemetry:false].
+
+    Wiring order (runtime, collector, Ω∆, QA, transformation, workload) is
+    part of the determinism contract: it fixes the object-id assignment
+    and hence the trace fingerprint for a given (seed, policy, code). *)
