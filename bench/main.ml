@@ -35,6 +35,11 @@ let arg_value flag =
 let json_out = arg_value "--out"
 let baseline_path = arg_value "--check-baseline"
 
+let jobs =
+  match Option.bind (arg_value "--jobs") int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> Tbwf_parallel.Pool.default_domains ()
+
 (* --- part 1: evaluation tables ------------------------------------------ *)
 
 let run_tables () =
@@ -257,6 +262,32 @@ let run_json () =
         ]
     | _ -> Json.Null
   in
+  (* Parallel fan-out: the same quick campaign matrix timed at one domain
+     and at --jobs domains. The outputs are byte-identical by the pool's
+     determinism contract; only the wall clock moves. *)
+  let parallel_fanout =
+    let time_matrix ~domains =
+      let pool = Tbwf_parallel.Pool.create ~domains () in
+      let start = Unix.gettimeofday () in
+      let m = Tbwf_nemesis.Campaign.run_matrix ~pool ~quick:true () in
+      m.Tbwf_nemesis.Campaign.m_ok, Unix.gettimeofday () -. start
+    in
+    let ok1, s1 = time_matrix ~domains:1 in
+    let okn, sn = time_matrix ~domains:jobs in
+    let speedup = if sn > 0.0 then s1 /. sn else 0.0 in
+    Fmt.pr "parallel-fanout: campaign matrix %.2fs at 1 job, %.2fs at %d \
+            jobs (x%.2f)@."
+      s1 sn jobs speedup;
+    Json.Obj
+      [
+        "workload", Json.Str "campaign-matrix-quick";
+        "jobs", Json.Int jobs;
+        "ok", Json.Bool (ok1 && okn);
+        "seconds_jobs_1", Json.Float s1;
+        "seconds_jobs_n", Json.Float sn;
+        "speedup", Json.Float speedup;
+      ]
+  in
   let date =
     let tm = Unix.localtime (Unix.time ()) in
     Fmt.str "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -275,6 +306,7 @@ let run_json () =
         "experiments", Json.Arr experiments;
         "throughput", Json.Arr (List.map row_json rows);
         "telemetry_overhead", overhead;
+        "parallel_fanout", parallel_fanout;
       ]
   in
   let path =

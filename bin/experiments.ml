@@ -1,18 +1,13 @@
 (* Run the experiment suite: all tables from EXPERIMENTS.md, or a single
-   experiment by id. Each experiment reports its own wall-clock elapsed
-   time, and a total is printed at the end. *)
+   experiment by id. Each experiment renders into its own buffer — one
+   pool task per experiment — and the buffers print in registry order, so
+   stdout is byte-identical at any --jobs value. Wall-clock timings go to
+   stderr (they vary run to run by nature). *)
 
 open Cmdliner
 
-let run quick ids =
+let run quick jobs ids =
   let fmt = Fmt.stdout in
-  let timed entry =
-    let start = Unix.gettimeofday () in
-    entry.Tbwf_experiments.Registry.run ~quick fmt;
-    let elapsed = Unix.gettimeofday () -. start in
-    Fmt.pf fmt "[%s: %.2fs]@." entry.Tbwf_experiments.Registry.id elapsed;
-    elapsed
-  in
   let entries =
     match ids with
     | [] -> List.map Result.ok Tbwf_experiments.Registry.all
@@ -24,25 +19,48 @@ let run quick ids =
           | None -> Error id)
         ids
   in
-  let total =
-    List.fold_left
-      (fun total entry ->
-        match entry with
-        | Ok entry ->
-          Fmt.pf fmt "@.=== %s: %s ===@." entry.Tbwf_experiments.Registry.id
-            entry.Tbwf_experiments.Registry.title;
-          total +. timed entry
-        | Error id ->
-          Fmt.epr "unknown experiment %S (known: E1..E16)@." id;
-          total)
-      0.0 entries
+  let known, unknown =
+    List.partition_map
+      (function Ok e -> Either.Left e | Error id -> Either.Right id)
+      entries
   in
-  if List.length entries > 1 then Fmt.pf fmt "@.[total: %.2fs]@." total;
+  List.iter
+    (fun id -> Fmt.epr "unknown experiment %S (known: E1..E16)@." id)
+    unknown;
+  let pool = Tbwf_parallel.Pool.create ~domains:jobs () in
+  let results =
+    Tbwf_parallel.Pool.map pool (Array.of_list known) (fun entry ->
+        let buf = Buffer.create 4096 in
+        let bfmt = Format.formatter_of_buffer buf in
+        let start = Unix.gettimeofday () in
+        entry.Tbwf_experiments.Registry.run ~quick bfmt;
+        Format.pp_print_flush bfmt ();
+        Buffer.contents buf, Unix.gettimeofday () -. start)
+  in
+  let total = ref 0.0 in
+  List.iteri
+    (fun i entry ->
+      let body, elapsed = results.(i) in
+      Fmt.pf fmt "@.=== %s: %s ===@." entry.Tbwf_experiments.Registry.id
+        entry.Tbwf_experiments.Registry.title;
+      Fmt.pf fmt "%s" body;
+      Fmt.epr "[%s: %.2fs]@." entry.Tbwf_experiments.Registry.id elapsed;
+      total := !total +. elapsed)
+    known;
+  if List.length known > 1 then Fmt.epr "[total: %.2fs]@." !total;
   Fmt.flush fmt ()
 
 let quick =
   let doc = "Run smaller configurations (seconds instead of minutes)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let jobs =
+  let doc =
+    "Domains to fan experiments out over (stdout is byte-identical for \
+     any value; 1 disables domains)."
+  in
+  Arg.(value & opt int (Tbwf_parallel.Pool.default_domains ())
+       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let ids =
   let doc = "Experiment ids to run (default: all of E1..E16)." in
@@ -51,6 +69,6 @@ let ids =
 let cmd =
   let doc = "regenerate the TBWF evaluation tables" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const run $ quick $ ids)
+  Cmd.v info Term.(const run $ quick $ jobs $ ids)
 
 let () = exit (Cmd.eval cmd)

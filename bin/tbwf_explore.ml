@@ -37,11 +37,15 @@ let save_schedule s out pids =
     close_out oc;
     Fmt.pf fmt "schedule written to %s@." path
 
-let explore name naive no_por max_schedules out =
+let pool_of jobs = Tbwf_parallel.Pool.create ~domains:jobs ()
+
+let explore name naive no_por max_schedules out jobs =
   with_scenario name @@ fun s ->
   let outcome =
     if naive then Explore_scenarios.exhaustive_naive ~max_schedules s
-    else Explore_scenarios.exhaustive ~max_schedules ~por:(not no_por) s
+    else
+      Explore_scenarios.exhaustive ~max_schedules ~por:(not no_por)
+        ~pool:(pool_of jobs) s
   in
   let open Tbwf_check.Explore in
   Fmt.pf fmt "scenario      %s (%s)@." s.Explore_scenarios.name
@@ -65,9 +69,12 @@ let explore name naive no_por max_schedules out =
   then 1
   else 0
 
-let fuzz name seed runs out =
+let fuzz name seed runs out jobs =
   with_scenario name @@ fun s ->
-  let f = Explore_scenarios.fuzz ~seed:(Int64.of_int seed) ~runs s in
+  let f =
+    Explore_scenarios.fuzz ~seed:(Int64.of_int seed) ~runs
+      ~pool:(pool_of jobs) s
+  in
   let open Tbwf_check.Explore in
   Fmt.pf fmt "scenario      %s@." s.Explore_scenarios.name;
   Fmt.pf fmt "runs          %d@." f.fuzz_runs;
@@ -114,6 +121,12 @@ let out_arg =
   let doc = "Write any counterexample schedule to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  Arg.(value & opt int (Tbwf_parallel.Pool.default_domains ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domains to fan the search out over (the outcome is \
+                 identical for any value; 1 disables domains).")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"list the built-in scenarios")
     Term.(const list_scenarios $ const ())
@@ -134,7 +147,9 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"exhaustively explore every schedule of a scenario")
-    Term.(const explore $ scenario_arg $ naive $ no_por $ max_schedules $ out_arg)
+    Term.(
+      const explore $ scenario_arg $ naive $ no_por $ max_schedules $ out_arg
+      $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -148,7 +163,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"random-schedule fuzzing; shrinks any failure to a minimal script")
-    Term.(const fuzz $ scenario_arg $ seed $ runs $ out_arg)
+    Term.(const fuzz $ scenario_arg $ seed $ runs $ out_arg $ jobs_arg)
 
 let replay_cmd =
   let file =

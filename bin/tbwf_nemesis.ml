@@ -42,21 +42,23 @@ let with_campaign name k =
     Fmt.epr "unknown campaign %S (try: tbwf_nemesis list)@." name;
     2
 
+let pool_of jobs = Tbwf_parallel.Pool.create ~domains:jobs ()
+
 let report_outcome o =
   Fmt.pf fmt "@[<v>%a@]@." Campaign.pp_outcome o;
   Fmt.flush fmt ();
   if o.Campaign.o_ok then 0 else 1
 
-let run_campaign name full seed =
+let run_campaign name full seed jobs =
   with_campaign name @@ fun c ->
   report_outcome
-    (Campaign.run ~quick:(not full) ~seed:(Int64.of_int seed) c)
+    (Campaign.run ~quick:(not full) ~seed:(Int64.of_int seed)
+       ~pool:(pool_of jobs) c)
 
-let matrix full seed =
-  let quick = not full in
-  let outcomes =
-    List.map (fun c -> Campaign.run ~quick ~seed:(Int64.of_int seed) c)
-      Campaign.catalogue
+let matrix full seed jobs =
+  let m =
+    Campaign.run_matrix ~pool:(pool_of jobs) ~quick:(not full)
+      ~seed:(Int64.of_int seed) ()
   in
   (* campaign × system grid of degradation verdicts *)
   Fmt.pf fmt "%-12s" "";
@@ -76,16 +78,19 @@ let matrix full seed =
                (if r.Campaign.row_as_expected then "" else " [!]")))
         o.Campaign.o_rows;
       Fmt.pf fmt "@.")
-    outcomes;
-  let ok = List.for_all (fun o -> o.Campaign.o_ok) outcomes in
+    m.Campaign.m_outcomes;
   Fmt.pf fmt "@.matrix %s@."
-    (if ok then "as predicted" else "NOT as predicted ([!] rows differ)");
+    (if m.Campaign.m_ok then "as predicted"
+     else "NOT as predicted ([!] rows differ)");
+  Fmt.pf fmt "@,aggregate telemetry (all cells):@.%a@."
+    Tbwf_telemetry.Collector.pp_summary m.Campaign.m_telemetry;
   Fmt.flush fmt ();
-  if ok then 0 else 1
+  if m.Campaign.m_ok then 0 else 1
 
-let fuzz seed runs horizon plan_out sched_out =
+let fuzz seed runs horizon plan_out sched_out jobs =
   let outcome =
-    Plan_fuzz.demo ~seed:(Int64.of_int seed) ~runs ~horizon ()
+    Plan_fuzz.demo ~seed:(Int64.of_int seed) ~runs ~pool:(pool_of jobs)
+      ~horizon ()
   in
   let open Tbwf_check.Explore in
   Fmt.pf fmt "runs          %d@." outcome.plan_runs;
@@ -174,6 +179,12 @@ let seed_arg =
        & info [ "seed" ] ~docv:"SEED"
            ~doc:"Runtime seed (campaigns are deterministic per seed).")
 
+let jobs_arg =
+  Arg.(value & opt int (Tbwf_parallel.Pool.default_domains ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domains to fan independent runs out over (output is \
+                 byte-identical for any value; 1 disables domains).")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"list the campaign catalogue")
     Term.(const list_campaigns $ const ())
@@ -191,14 +202,14 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"run one campaign against every system; exit 0 iff every \
              verdict matches the campaign's prediction")
-    Term.(const run_campaign $ campaign_arg $ full_arg $ seed_arg)
+    Term.(const run_campaign $ campaign_arg $ full_arg $ seed_arg $ jobs_arg)
 
 let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix"
        ~doc:"run the whole catalogue and print the campaign × system \
              degradation matrix")
-    Term.(const matrix $ full_arg $ seed_arg)
+    Term.(const matrix $ full_arg $ seed_arg $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -228,7 +239,7 @@ let fuzz_cmd =
        ~doc:"fuzz (schedule, fault-plan) pairs against the planted-bug \
              demo; shrinks both dimensions and checks the serialized plan \
              replays byte-identically")
-    Term.(const fuzz $ seed $ runs $ horizon $ plan_out $ sched_out)
+    Term.(const fuzz $ seed $ runs $ horizon $ plan_out $ sched_out $ jobs_arg)
 
 let replay_cmd =
   let plan_file =

@@ -55,8 +55,14 @@ type frame = {
   mutable f_cur_fp : Independence.footprint;
 }
 
-let exhaustive ?(max_schedules = 200_000) ?(por = true) ~max_steps ~scenario
-    ~make_runtime () =
+(* The full DFS, optionally restricted to one root branch: [root = Some
+   (pid, prior)] pins the depth-0 frame to [pid] with the footprints of
+   the already-explored earlier root branches pre-seeded as its [f_done]
+   — exactly the state the sequential search has when it starts that
+   branch's subtree, which is what makes the root-split parallel search
+   below explore the same reduced tree, branch for branch. *)
+let exhaustive_dfs ?(max_schedules = 200_000) ?(por = true) ?root ~max_steps
+    ~scenario ~make_runtime () =
   if max_steps < 1 then invalid_arg "Explore.exhaustive: max_steps < 1";
   let schedules = ref 0 in
   let violation = ref None in
@@ -66,6 +72,19 @@ let exhaustive ?(max_schedules = 200_000) ?(por = true) ~max_steps ~scenario
   let frame d =
     match stack.(d) with Some f -> f | None -> assert false
   in
+  (match root with
+  | None -> ()
+  | Some (pid, prior) ->
+    stack.(0) <-
+      Some
+        {
+          f_runnable = [| pid |];
+          f_sleep = IntMap.empty;
+          f_done = prior;
+          f_cur = pid;
+          f_cur_fp = Independence.empty;
+        };
+    stack_len := 1);
   (* Sleep set for the state reached by executing [f.f_cur] from [f]'s
      state: processes whose pending step is independent of every step taken
      since they were put to sleep stay asleep — exploring them here would
@@ -186,6 +205,104 @@ let exhaustive ?(max_schedules = 200_000) ?(por = true) ~max_steps ~scenario
   done;
   { schedules = !schedules; violation = !violation; exhausted = !exhausted }
 
+(* --- root-split parallel exploration -------------------------------------- *)
+
+(* Merge per-root-branch outcomes into the sequential search's outcome.
+   The sequential DFS explores branch 0's subtree to completion, then
+   branch 1's, and so on, counting schedules globally against
+   [max_schedules] and stopping at the first violation. Each parallel
+   branch task ran the same subtree with the full budget, so replaying
+   the branch order with a simulated global budget reproduces the
+   sequential outcome exactly — including which violation wins (lowest
+   branch, not first-to-finish) — except when the budget bites partway
+   through a branch, where the merged outcome is clamped to the
+   sequential one (budget reached, no violation, not exhausted). *)
+let merge_root_outcomes ~max_schedules outcomes =
+  let nb = Array.length outcomes in
+  let rec go b acc all_exhausted =
+    if b >= nb then
+      { schedules = acc; violation = None; exhausted = all_exhausted }
+    else begin
+      let o = outcomes.(b) in
+      let remaining = max_schedules - acc in
+      match o.violation with
+      | Some _ when o.schedules <= remaining ->
+        (* the sequential search reaches this branch's violating schedule
+           before the budget: it stops right there *)
+        { schedules = acc + o.schedules; violation = o.violation;
+          exhausted = true }
+      | _ ->
+        if o.schedules < remaining then
+          go (b + 1) (acc + o.schedules) (all_exhausted && o.exhausted)
+        else if
+          b = nb - 1 && o.schedules = remaining && o.exhausted
+          && o.violation = None
+        then
+          (* the whole tree finishes exactly at the budget; the sequential
+             explorer only notices the budget when work remains *)
+          { schedules = acc + o.schedules; violation = None;
+            exhausted = all_exhausted }
+        else
+          (* budget reached partway: the sequential search stops at
+             [max_schedules] schedules without reaching a violation *)
+          { schedules = max_schedules; violation = None; exhausted = false }
+    end
+  in
+  go 0 0 true
+
+(* Footprint of taking [pid]'s first step from the initial state — the
+   value the sequential DFS records into the root frame's [f_done] when
+   it finishes that branch (the first step of a branch is deterministic,
+   so precomputing it from a probe run observes the identical value). *)
+let root_footprint ~scenario ~make_runtime pid =
+  let rt = make_runtime () in
+  let (_ : unit -> bool) = scenario rt in
+  let trace = Runtime.trace rt in
+  let mark = Trace.n_ops trace in
+  Runtime.step rt ~pid;
+  let fp = Independence.of_events (Trace.ops_from trace mark) in
+  Runtime.stop rt;
+  fp
+
+let exhaustive ?max_schedules ?por ?pool ~max_steps ~scenario ~make_runtime ()
+    =
+  let sequential () =
+    exhaustive_dfs ?max_schedules ?por ~max_steps ~scenario ~make_runtime ()
+  in
+  match pool with
+  | None -> sequential ()
+  | Some pool when Tbwf_parallel.Pool.domains pool <= 1 -> sequential ()
+  | Some pool ->
+    (* Probe the initial state: the root branches are the runnable pids
+       in array order, exactly the branches the root frame of the
+       sequential DFS iterates. *)
+    let rt = make_runtime () in
+    let invariant = scenario rt in
+    let initially_ok = invariant () in
+    let roots = Runtime.runnable_pids rt in
+    Runtime.stop rt;
+    if (not initially_ok) || Array.length roots <= 1 then sequential ()
+    else begin
+      let fps =
+        Array.map (fun pid -> root_footprint ~scenario ~make_runtime pid) roots
+      in
+      let branch b =
+        let prior =
+          List.init b (fun i -> roots.(i), fps.(i))
+        in
+        exhaustive_dfs ?max_schedules ?por ~root:(roots.(b), prior)
+          ~max_steps ~scenario ~make_runtime ()
+      in
+      let outcomes =
+        Tbwf_parallel.Pool.map pool
+          (Array.init (Array.length roots) Fun.id)
+          branch
+      in
+      merge_root_outcomes
+        ~max_schedules:(Option.value max_schedules ~default:200_000)
+        outcomes
+    end
+
 (* --- the pre-reduction explorer, kept as the baseline -------------------- *)
 
 (* Execute one script on a fresh runtime: set up the scenario, run under
@@ -253,44 +370,90 @@ let exhaustive_naive ?(max_schedules = 200_000) ~max_steps ~scenario
 
 (* --- random-schedule fuzzing with shrinking ------------------------------ *)
 
-let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~max_steps ~scenario
-    ~make_runtime () =
-  let rng = Rng.create seed in
-  let witness = ref None in
+(* Runs per fuzz batch. Fuzzing is partitioned into fixed-size batches,
+   batch [k] drawing from its own stream seeded [Rng.task_seed ~master k]
+   — never from a shared stream — so each batch's schedules are a pure
+   function of (master seed, k) and the partition is the same at every
+   job count. The reported outcome is always that of the lowest-index
+   witnessing batch, counting every run up to and including the witness:
+   a pool merely runs later batches speculatively. *)
+let fuzz_batch_runs = 25
+
+let fuzz_n_batches runs =
+  if runs < 0 then invalid_arg "Explore.fuzz: runs < 0";
+  (runs + fuzz_batch_runs - 1) / fuzz_batch_runs
+
+let fuzz_batch_size ~runs k = min fuzz_batch_runs (runs - (k * fuzz_batch_runs))
+
+(* Walk batch results in index order, early-stopping at the first
+   witness. [run_batch k] returns (runs executed, witness if any). *)
+let fuzz_select ?pool ~runs run_batch =
+  let n_batches = fuzz_n_batches runs in
   let executed = ref 0 in
-  while !witness = None && !executed < runs do
-    incr executed;
-    let rt = make_runtime () in
-    let invariant = scenario rt in
-    let sched = ref [] in
-    let steps = ref 0 in
-    let stop_run = ref (not (invariant ())) in
-    if !stop_run then witness := Some [];
-    while (not !stop_run) && !steps < max_steps do
-      let runnable = Runtime.runnable_pids rt in
-      if Array.length runnable = 0 then stop_run := true
-      else begin
-        let pid = runnable.(Rng.int rng (Array.length runnable)) in
-        Runtime.step rt ~pid;
-        sched := pid :: !sched;
-        incr steps;
-        if not (invariant ()) then begin
-          witness := Some (List.rev !sched);
-          stop_run := true
+  let witness = ref None in
+  let consume (e, w) =
+    executed := !executed + e;
+    match w with
+    | Some _ ->
+      witness := w;
+      raise Exit
+    | None -> ()
+  in
+  (try
+     match pool with
+     | Some pool when Tbwf_parallel.Pool.domains pool > 1 && n_batches > 1 ->
+       Tbwf_parallel.Pool.map pool (Array.init n_batches Fun.id) run_batch
+       |> Array.iter consume
+     | _ ->
+       for k = 0 to n_batches - 1 do
+         consume (run_batch k)
+       done
+   with Exit -> ());
+  !executed, !witness
+
+let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ?pool ~max_steps ~scenario
+    ~make_runtime () =
+  let run_batch k =
+    let rng = Rng.create (Rng.task_seed ~master:seed k) in
+    let count = fuzz_batch_size ~runs k in
+    let witness = ref None in
+    let executed = ref 0 in
+    while !witness = None && !executed < count do
+      incr executed;
+      let rt = make_runtime () in
+      let invariant = scenario rt in
+      let sched = ref [] in
+      let steps = ref 0 in
+      let stop_run = ref (not (invariant ())) in
+      if !stop_run then witness := Some [];
+      while (not !stop_run) && !steps < max_steps do
+        let runnable = Runtime.runnable_pids rt in
+        if Array.length runnable = 0 then stop_run := true
+        else begin
+          let pid = runnable.(Rng.int rng (Array.length runnable)) in
+          Runtime.step rt ~pid;
+          sched := pid :: !sched;
+          incr steps;
+          if not (invariant ()) then begin
+            witness := Some (List.rev !sched);
+            stop_run := true
+          end
         end
-      end
+      done;
+      Runtime.stop rt
     done;
-    Runtime.stop rt
-  done;
-  match !witness with
-  | None -> { fuzz_runs = !executed; counterexample = None; shrunk_from = None }
+    !executed, !witness
+  in
+  let executed, witness = fuzz_select ?pool ~runs run_batch in
+  match witness with
+  | None -> { fuzz_runs = executed; counterexample = None; shrunk_from = None }
   | Some pids ->
     let fails candidate =
       not (replay ~max_steps ~scenario ~make_runtime candidate)
     in
     let minimal = if pids = [] then [] else Shrink.ddmin ~fails pids in
     {
-      fuzz_runs = !executed;
+      fuzz_runs = executed;
       counterexample = Some minimal;
       shrunk_from = Some (List.length pids);
     }
@@ -303,39 +466,44 @@ type 'plan fault_fuzz_outcome = {
   plan_shrunk_from : int option;
 }
 
-let fuzz_faults ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~gen_plan ~shrink_plan
-    ~max_steps ~scenario ~make_runtime () =
-  let rng = Rng.create seed in
-  let witness = ref None in
-  let executed = ref 0 in
-  while !witness = None && !executed < runs do
-    incr executed;
-    let plan = gen_plan rng in
-    let rt = make_runtime plan () in
-    let invariant = scenario plan rt in
-    let sched = ref [] in
-    let steps = ref 0 in
-    let stop_run = ref (not (invariant ())) in
-    if !stop_run then witness := Some ([], plan);
-    while (not !stop_run) && !steps < max_steps do
-      let runnable = Runtime.runnable_pids rt in
-      if Array.length runnable = 0 then stop_run := true
-      else begin
-        let pid = runnable.(Rng.int rng (Array.length runnable)) in
-        Runtime.step rt ~pid;
-        sched := pid :: !sched;
-        incr steps;
-        if not (invariant ()) then begin
-          witness := Some (List.rev !sched, plan);
-          stop_run := true
+let fuzz_faults ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ?pool ~gen_plan
+    ~shrink_plan ~max_steps ~scenario ~make_runtime () =
+  let run_batch k =
+    let rng = Rng.create (Rng.task_seed ~master:seed k) in
+    let count = fuzz_batch_size ~runs k in
+    let witness = ref None in
+    let executed = ref 0 in
+    while !witness = None && !executed < count do
+      incr executed;
+      let plan = gen_plan rng in
+      let rt = make_runtime plan () in
+      let invariant = scenario plan rt in
+      let sched = ref [] in
+      let steps = ref 0 in
+      let stop_run = ref (not (invariant ())) in
+      if !stop_run then witness := Some ([], plan);
+      while (not !stop_run) && !steps < max_steps do
+        let runnable = Runtime.runnable_pids rt in
+        if Array.length runnable = 0 then stop_run := true
+        else begin
+          let pid = runnable.(Rng.int rng (Array.length runnable)) in
+          Runtime.step rt ~pid;
+          sched := pid :: !sched;
+          incr steps;
+          if not (invariant ()) then begin
+            witness := Some (List.rev !sched, plan);
+            stop_run := true
+          end
         end
-      end
+      done;
+      Runtime.stop rt
     done;
-    Runtime.stop rt
-  done;
-  match !witness with
+    !executed, !witness
+  in
+  let executed, witness = fuzz_select ?pool ~runs run_batch in
+  match witness with
   | None ->
-    { plan_runs = !executed; plan_counterexample = None; plan_shrunk_from = None }
+    { plan_runs = executed; plan_counterexample = None; plan_shrunk_from = None }
   | Some (pids, plan) ->
     (* Alternate dimensions: shrink the schedule under the found plan,
        then the plan under the shrunk schedule, then the schedule once
@@ -355,7 +523,7 @@ let fuzz_faults ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ~gen_plan ~shrink_plan
       else Shrink.ddmin ~fails:(fails_with plan') sched1
     in
     {
-      plan_runs = !executed;
+      plan_runs = executed;
       plan_counterexample = Some (sched2, plan');
       plan_shrunk_from = Some (List.length pids);
     }

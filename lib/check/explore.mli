@@ -52,6 +52,7 @@ type outcome = {
 val exhaustive :
   ?max_schedules:int ->
   ?por:bool ->
+  ?pool:Tbwf_parallel.Pool.t ->
   max_steps:int ->
   scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
   make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
@@ -69,7 +70,19 @@ val exhaustive :
     Exploration stops at the first violation (with the witness), or once
     [max_schedules] (default 200 000) schedules have been executed, in
     which case [exhausted] is [false] and [violation] reflects only the
-    covered part — exceeding the budget is reported, never raised. *)
+    covered part — exceeding the budget is reported, never raised.
+
+    [pool] fans the search out over the initial state's runnable
+    processes: each root branch explores its own subtree on its own
+    domain (each schedule still builds its own runtime, so tasks share
+    nothing), with earlier branches' first-step footprints pre-seeded so
+    every branch prunes exactly as the sequential search would. Outcomes
+    merge in branch order under a simulated global budget, so the result
+    is identical to the sequential search — same [schedules], same
+    winning [violation] — except that when the budget cuts off partway
+    through a branch the merged outcome is the budget-reached one. A
+    one-domain pool (or a single root branch) falls back to the
+    sequential search. *)
 
 val exhaustive_naive :
   ?max_schedules:int ->
@@ -93,9 +106,17 @@ type fuzz_outcome = {
       (** length of the original failing schedule before shrinking *)
 }
 
+val fuzz_batch_runs : int
+(** Runs per fuzz batch (25). Fuzzing is partitioned into fixed-size
+    batches, batch [k] drawing from its own stream seeded
+    [Rng.task_seed ~master:seed k] — the partition is identical at every
+    job count, which is what makes pooled fuzzing byte-identical to
+    sequential fuzzing. *)
+
 val fuzz :
   ?seed:int64 ->
   ?runs:int ->
+  ?pool:Tbwf_parallel.Pool.t ->
   max_steps:int ->
   scenario:(Tbwf_sim.Runtime.t -> unit -> bool) ->
   make_runtime:(unit -> Tbwf_sim.Runtime.t) ->
@@ -103,10 +124,17 @@ val fuzz :
   fuzz_outcome
 (** Execute up to [runs] (default 1000) random schedules of at most
     [max_steps] steps each, choosing uniformly among runnable processes
-    with a generator seeded by [seed] (fuzzing is itself deterministic:
-    same seed, same schedules). On the first invariant violation the
-    failing schedule is shrunk with {!Shrink.ddmin} to a schedule on which
-    the violation still reproduces and no single step can be removed. *)
+    with a generator seeded per batch from [seed] (fuzzing is itself
+    deterministic: same seed, same schedules). On the first invariant
+    violation the failing schedule is shrunk with {!Shrink.ddmin} to a
+    schedule on which the violation still reproduces and no single step
+    can be removed.
+
+    [pool] runs the {!fuzz_batch_runs}-sized batches across domains; the
+    reported outcome is always that of the lowest-index witnessing batch
+    (counting runs up to and including the witness), so the result is the
+    same at any job count — a pool merely runs later batches
+    speculatively. *)
 
 val replay :
   max_steps:int ->
@@ -158,6 +186,7 @@ type 'plan fault_fuzz_outcome = {
 val fuzz_faults :
   ?seed:int64 ->
   ?runs:int ->
+  ?pool:Tbwf_parallel.Pool.t ->
   gen_plan:(Tbwf_sim.Rng.t -> 'plan) ->
   shrink_plan:(fails:('plan -> bool) -> 'plan -> 'plan) ->
   max_steps:int ->
@@ -167,4 +196,6 @@ val fuzz_faults :
   'plan fault_fuzz_outcome
 (** [shrink_plan ~fails plan] must return a (possibly equal) plan on which
     [fails] still holds — {!Tbwf_nemesis.Fault_plan.shrink} is the
-    intended implementation. Everything else is as {!fuzz}. *)
+    intended implementation. Everything else is as {!fuzz}, including the
+    batched generator streams and [pool]: each batch draws its plans and
+    schedules from its own seeded stream. *)

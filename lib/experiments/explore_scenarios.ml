@@ -237,16 +237,16 @@ let find name =
 
 (* --- uniform drivers ----------------------------------------------------- *)
 
-let exhaustive ?max_schedules ?por t =
-  Explore.exhaustive ?max_schedules ?por ~max_steps:t.max_steps
+let exhaustive ?max_schedules ?por ?pool t =
+  Explore.exhaustive ?max_schedules ?por ?pool ~max_steps:t.max_steps
     ~scenario:t.scenario ~make_runtime:(make_runtime t) ()
 
 let exhaustive_naive ?max_schedules t =
   Explore.exhaustive_naive ?max_schedules ~max_steps:t.max_steps
     ~scenario:t.scenario ~make_runtime:(make_runtime t) ()
 
-let fuzz ?seed ?runs t =
-  Explore.fuzz ?seed ?runs ~max_steps:t.max_steps ~scenario:t.scenario
+let fuzz ?seed ?runs ?pool t =
+  Explore.fuzz ?seed ?runs ?pool ~max_steps:t.max_steps ~scenario:t.scenario
     ~make_runtime:(make_runtime t) ()
 
 let replay t pids =

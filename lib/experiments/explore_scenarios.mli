@@ -36,10 +36,20 @@ val find : string -> t option
 val make_runtime : t -> unit -> Tbwf_sim.Runtime.t
 
 val exhaustive :
-  ?max_schedules:int -> ?por:bool -> t -> Tbwf_check.Explore.outcome
+  ?max_schedules:int ->
+  ?por:bool ->
+  ?pool:Tbwf_parallel.Pool.t ->
+  t ->
+  Tbwf_check.Explore.outcome
 
 val exhaustive_naive : ?max_schedules:int -> t -> Tbwf_check.Explore.outcome
-val fuzz : ?seed:int64 -> ?runs:int -> t -> Tbwf_check.Explore.fuzz_outcome
+
+val fuzz :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?pool:Tbwf_parallel.Pool.t ->
+  t ->
+  Tbwf_check.Explore.fuzz_outcome
 
 val replay : t -> int list -> bool
 (** Replay a pid schedule against the scenario's invariant; [true] iff the

@@ -274,21 +274,32 @@ type outcome = {
 
 let dimensions ~quick = if quick then 4, 96_000 else 6, 480_000
 
-let run ?(quick = true) ?seed ?(systems = all_systems) campaign =
+let row_of_result campaign system result =
+  let expected_fail = List.mem system campaign.c_expect_fail in
+  let holds = result.rr_verdict.Degradation.holds in
+  {
+    row_system = system;
+    row_expected_fail = expected_fail;
+    row_result = result;
+    row_as_expected = (if expected_fail then not holds else holds);
+  }
+
+(* Fan a list of independent cell tasks out over [pool] (each task builds
+   its own stack via [run_plan], so nothing is shared); results come back
+   in task order either way. *)
+let map_cells ?pool f cells =
+  match pool with
+  | Some pool when Tbwf_parallel.Pool.domains pool > 1 ->
+    Tbwf_parallel.Pool.map pool (Array.of_list cells) f |> Array.to_list
+  | _ -> List.map f cells
+
+let run ?(quick = true) ?seed ?pool ?(systems = all_systems) campaign =
   let n, horizon = dimensions ~quick in
   let plan = campaign.c_plan ~n ~horizon in
   let rows =
-    List.map
+    map_cells ?pool
       (fun system ->
-        let result = run_plan ?seed ~plan ~system () in
-        let expected_fail = List.mem system campaign.c_expect_fail in
-        let holds = result.rr_verdict.Degradation.holds in
-        {
-          row_system = system;
-          row_expected_fail = expected_fail;
-          row_result = result;
-          row_as_expected = (if expected_fail then not holds else holds);
-        })
+        row_of_result campaign system (run_plan ?seed ~plan ~system ()))
       systems
   in
   {
@@ -296,6 +307,64 @@ let run ?(quick = true) ?seed ?(systems = all_systems) campaign =
     o_plan = plan;
     o_rows = rows;
     o_ok = List.for_all (fun r -> r.row_as_expected) rows;
+  }
+
+(* --- the full campaign × system matrix ------------------------------------ *)
+
+type matrix = {
+  m_outcomes : outcome list;
+  m_ok : bool;
+  m_telemetry : Tbwf_telemetry.Collector.t;
+}
+
+let run_matrix ?pool ?(quick = true) ?seed ?(systems = all_systems) () =
+  let n, horizon = dimensions ~quick in
+  if systems = [] then invalid_arg "Campaign.run_matrix: no systems";
+  (* One task per (campaign, system) cell, campaign-major — finer-grained
+     than pooling [run] per campaign, so a slow cell doesn't serialize its
+     whole campaign. Regrouping walks the same order, and the aggregate
+     collector folds in that order too, so the matrix is byte-identical at
+     any domain count. *)
+  let cells =
+    List.concat_map
+      (fun campaign ->
+        let plan = campaign.c_plan ~n ~horizon in
+        List.map (fun system -> campaign, plan, system) systems)
+      catalogue
+  in
+  let results =
+    map_cells ?pool
+      (fun (_, plan, system) -> run_plan ?seed ~plan ~system ())
+      cells
+  in
+  let rows =
+    List.map2 (fun (c, _, s) r -> c, row_of_result c s r) cells results
+  in
+  let outcomes =
+    List.map
+      (fun campaign ->
+        let c_rows =
+          List.filter_map
+            (fun (c, row) ->
+              if c.c_name = campaign.c_name then Some row else None)
+            rows
+        in
+        {
+          o_campaign = campaign;
+          o_plan = campaign.c_plan ~n ~horizon;
+          o_rows = c_rows;
+          o_ok = List.for_all (fun r -> r.row_as_expected) c_rows;
+        })
+      catalogue
+  in
+  let telemetry =
+    List.map (fun r -> r.rr_telemetry) results
+    |> Tbwf_telemetry.Collector.merge_all
+  in
+  {
+    m_outcomes = outcomes;
+    m_ok = List.for_all (fun o -> o.o_ok) outcomes;
+    m_telemetry = telemetry;
   }
 
 let pp_row fmt r =

@@ -109,9 +109,41 @@ type outcome = {
   o_ok : bool;  (** every system behaved as the campaign predicts *)
 }
 
-val run : ?quick:bool -> ?seed:int64 -> ?systems:system list -> t -> outcome
+val run :
+  ?quick:bool ->
+  ?seed:int64 ->
+  ?pool:Tbwf_parallel.Pool.t ->
+  ?systems:system list ->
+  t ->
+  outcome
 (** [run campaign] (default [quick:true], all systems) instantiates the
-    campaign's plan at {!dimensions} and verdicts every system. *)
+    campaign's plan at {!dimensions} and verdicts every system. [pool]
+    runs one task per system (each builds its own stack); rows come back
+    in [systems] order regardless of domain count. *)
+
+(** {2 The full matrix} *)
+
+type matrix = {
+  m_outcomes : outcome list;  (** one per catalogue campaign, in order *)
+  m_ok : bool;
+  m_telemetry : Tbwf_telemetry.Collector.t;
+      (** all cells' collectors folded with
+          {!Tbwf_telemetry.Collector.merge} in cell order — the aggregate
+          view of every run in the matrix *)
+}
+
+val run_matrix :
+  ?pool:Tbwf_parallel.Pool.t ->
+  ?quick:bool ->
+  ?seed:int64 ->
+  ?systems:system list ->
+  unit ->
+  matrix
+(** Run every catalogue campaign against every system, one pool task per
+    (campaign, system) cell, campaign-major. Outcomes regroup in
+    catalogue order and the aggregate collector folds in cell order, so
+    the matrix — including the merged telemetry snapshot — is
+    byte-identical at any domain count. *)
 
 val pp_row : Format.formatter -> row -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

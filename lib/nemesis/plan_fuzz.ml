@@ -2,8 +2,9 @@ open Tbwf_sim
 open Tbwf_registers
 open Tbwf_check
 
-let fuzz ?seed ?runs ?(max_atoms = 3) ~n ~horizon ~scenario ~make_runtime () =
-  Explore.fuzz_faults ?seed ?runs
+let fuzz ?seed ?runs ?pool ?(max_atoms = 3) ~n ~horizon ~scenario
+    ~make_runtime () =
+  Explore.fuzz_faults ?seed ?runs ?pool
     ~gen_plan:(fun rng -> Fault_plan.gen ~max_atoms rng ~n ~horizon)
     ~shrink_plan:Fault_plan.shrink ~max_steps:horizon ~scenario ~make_runtime
     ()
@@ -69,6 +70,6 @@ let demo_replay plan pids =
   Runtime.stop rt;
   !held, fp
 
-let demo ?seed ?(runs = 200) ~horizon () =
-  fuzz ?seed ~runs ~max_atoms:2 ~n:demo_n ~horizon ~scenario:demo_scenario
-    ~make_runtime:demo_make_runtime ()
+let demo ?seed ?(runs = 200) ?pool ~horizon () =
+  fuzz ?seed ~runs ?pool ~max_atoms:2 ~n:demo_n ~horizon
+    ~scenario:demo_scenario ~make_runtime:demo_make_runtime ()

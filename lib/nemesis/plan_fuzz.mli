@@ -17,6 +17,7 @@
 val fuzz :
   ?seed:int64 ->
   ?runs:int ->
+  ?pool:Tbwf_parallel.Pool.t ->
   ?max_atoms:int ->
   n:int ->
   horizon:int ->
@@ -32,6 +33,7 @@ val demo_scenario : Fault_plan.t -> Tbwf_sim.Runtime.t -> unit -> bool
 val demo :
   ?seed:int64 ->
   ?runs:int ->
+  ?pool:Tbwf_parallel.Pool.t ->
   horizon:int ->
   unit ->
   Fault_plan.t Tbwf_check.Explore.fault_fuzz_outcome

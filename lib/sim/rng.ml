@@ -15,6 +15,26 @@ let next t =
 
 let split t = create (next t)
 
+(* Stateless per-task seed derivation: task [i]'s seed is the splitmix64
+   output for counter state [master + (i+1)·γ] — i.e. what a generator
+   seeded with [master] would emit as its (i+1)-th value, computed
+   directly from the index. Parallel fan-out must never split seeds off a
+   shared mutable generator (the derived seeds would then depend on how
+   many draws happened before the split); this derivation depends only on
+   (master, index), so every pool, at any domain count, derives the same
+   task-seed array. *)
+let task_seed ~master index =
+  if index < 0 then invalid_arg "Rng.task_seed: negative index";
+  let open Int64 in
+  let z = add master (mul (of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let task_seeds ~master count =
+  if count < 0 then invalid_arg "Rng.task_seeds: negative count";
+  Array.init count (fun i -> task_seed ~master i)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits: OCaml's native int has 63, so a 63-bit mask could still

@@ -16,6 +16,17 @@ val split : t -> t
 (** [split t] derives a new generator from [t]'s stream, advancing [t].
     Useful to give subsystems independent deterministic streams. *)
 
+val task_seed : master:int64 -> int -> int64
+(** [task_seed ~master i] is the seed for task [i] of a fan-out keyed by
+    [master]: the (i+1)-th splitmix64 output of [master]'s stream,
+    computed statelessly from the index. Unlike {!split}, it never reads
+    shared mutable generator state, so any two pools (at any domain
+    count) derive identical task seeds from the same master. Raises
+    [Invalid_argument] on a negative index. *)
+
+val task_seeds : master:int64 -> int -> int64 array
+(** [task_seeds ~master count] is [| task_seed ~master 0; ... |]. *)
+
 val next : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -146,6 +146,74 @@ let attach ?window rt =
   Runtime.set_sink rt (sink t);
   t
 
+(* --- merging -------------------------------------------------------------- *)
+
+(* Combine the collectors of independent finished runs — the fan-out
+   aggregation path: each parallel task attaches its own collector to its
+   own runtime, and the merged view is folded afterwards in canonical
+   task order. All aggregates combine commutatively (sums, bucket-wise
+   histogram merges, cell-wise series merges); the event lists (handoffs,
+   crashes) interleave by step with ties broken by argument order, so a
+   left fold over tasks in index order is order-fixed: any domain count
+   produces the same merged collector. Run-local cursor state
+   (current-epoch leader, last step) does not survive a merge. *)
+let merge a b =
+  if a.n <> b.n then invalid_arg "Collector.merge: process counts differ";
+  if a.window <> b.window then
+    invalid_arg "Collector.merge: window sizes differ";
+  let sum_arrays x y = Array.init a.n (fun i -> x.(i) + y.(i)) in
+  (* Chronological merge of two step-sorted event lists; on equal steps
+     [xs]'s events come first, so merge order is fixed by argument order,
+     not by which domain produced which list. *)
+  let merge_events step xs ys =
+    let rec go acc xs ys =
+      match xs, ys with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | x :: xs', y :: ys' ->
+        if step x <= step y then go (x :: acc) xs' ys
+        else go (y :: acc) xs ys'
+    in
+    go [] xs ys
+  in
+  {
+    n = a.n;
+    window = a.window;
+    registry = Metrics.merge a.registry b.registry;
+    spans = Span.merge a.spans b.spans;
+    app_ops = Series.merge a.app_ops b.app_ops;
+    steps_per_pid = sum_arrays a.steps_per_pid b.steps_per_pid;
+    steps_by_layer =
+      Array.init a.n (fun pid ->
+          Array.init Sink.n_layers (fun l ->
+              a.steps_by_layer.(pid).(l) + b.steps_by_layer.(pid).(l)));
+    idle_steps = a.idle_steps + b.idle_steps;
+    total_steps = a.total_steps + b.total_steps;
+    last_step = max a.last_step b.last_step;
+    invokes = sum_arrays a.invokes b.invokes;
+    responds = sum_arrays a.responds b.responds;
+    aborts = sum_arrays a.aborts b.aborts;
+    fails = sum_arrays a.fails b.fails;
+    app_completed = sum_arrays a.app_completed b.app_completed;
+    register_abort_decisions =
+      a.register_abort_decisions + b.register_abort_decisions;
+    leader_changes = sum_arrays a.leader_changes b.leader_changes;
+    current_leader = None;
+    handoffs =
+      List.rev
+        (merge_events
+           (fun ev -> ev.le_step)
+           (List.rev a.handoffs) (List.rev b.handoffs));
+    epochs = a.epochs + b.epochs;
+    suspicion_flips = a.suspicion_flips + b.suspicion_flips;
+    suspected_counts = sum_arrays a.suspected_counts b.suspected_counts;
+    crashes =
+      List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes));
+  }
+
+let merge_all = function
+  | [] -> invalid_arg "Collector.merge_all: empty list"
+  | first :: rest -> List.fold_left merge first rest
+
 (* --- accessors ----------------------------------------------------------- *)
 
 let n t = t.n

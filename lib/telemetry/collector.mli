@@ -30,6 +30,24 @@ val sink : t -> Sink.t
 val attach : ?window:int -> Runtime.t -> t
 (** [create] sized for the runtime + [Runtime.set_sink]. *)
 
+(** {2 Merging}
+
+    Fan-out aggregation: each parallel task attaches its own collector to
+    its own runtime; afterwards the per-task collectors fold into one
+    merged view in canonical task order. *)
+
+val merge : t -> t -> t
+(** Fresh collector combining two finished runs' aggregates: counters and
+    arrays sum, histograms merge bucket-wise, rate series merge
+    cell-wise, and event lists (handoffs, crashes) interleave by step
+    with ties broken left-first — commutative up to those ties, so a left
+    fold in task-index order is order-fixed and domain-count-independent.
+    Run-local cursor state (current epoch leader) does not survive.
+    Raises [Invalid_argument] if [n] or [window] differ. *)
+
+val merge_all : t list -> t
+(** Left fold of {!merge}; raises [Invalid_argument] on the empty list. *)
+
 (** {2 Accessors} *)
 
 val n : t -> int

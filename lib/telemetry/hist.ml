@@ -32,6 +32,17 @@ let observe t v =
   let b = bucket_of v in
   t.buckets.(b) <- t.buckets.(b) + 1
 
+(* Bucket-wise sum: observation order never mattered, so merging is
+   commutative and associative and a merged histogram equals one that
+   observed both streams. *)
+let merge a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    max = max a.max b.max;
+    buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+  }
+
 let count t = t.count
 let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 

@@ -10,6 +10,10 @@ val create : unit -> t
 val observe : t -> int -> unit
 (** Record one observation; negative values clamp to 0. *)
 
+val merge : t -> t -> t
+(** Fresh histogram equal to one that observed both inputs' streams —
+    bucket-wise sum, so commutative and associative. *)
+
 val bucket_of : int -> int
 (** The bucket index a value lands in. *)
 

@@ -63,6 +63,40 @@ let counter_value c = c.c_value
 let set g v = g.g_value <- v
 let gauge_value g = g.g_value
 
+(* Union by name; same-name metrics combine additively (counters and
+   gauges sum, histograms and series merge cell-wise). A name registered
+   with different types on the two sides is a caller bug, as in
+   [find_or_add]. *)
+let merge a b =
+  let t = create () in
+  let copy_from src =
+    Hashtbl.iter
+      (fun name m ->
+        match Hashtbl.find_opt t.metrics name, m with
+        | None, Counter c ->
+          Hashtbl.replace t.metrics name
+            (Counter { c_name = name; c_value = c.c_value })
+        | None, Gauge g ->
+          Hashtbl.replace t.metrics name
+            (Gauge { g_name = name; g_value = g.g_value })
+        | None, Histogram h ->
+          Hashtbl.replace t.metrics name (Histogram (Hist.merge h (Hist.create ())))
+        | None, Series s -> Hashtbl.replace t.metrics name (Series (Series.copy s))
+        | Some (Counter dst), Counter c -> dst.c_value <- dst.c_value + c.c_value
+        | Some (Gauge dst), Gauge g -> dst.g_value <- dst.g_value + g.g_value
+        | Some (Histogram dst), Histogram h ->
+          Hashtbl.replace t.metrics name (Histogram (Hist.merge dst h))
+        | Some (Series dst), Series s ->
+          Hashtbl.replace t.metrics name (Series (Series.merge dst s))
+        | Some _, _ ->
+          invalid_arg
+            (Fmt.str "Metrics.merge: %S registered with different types" name))
+      src.metrics
+  in
+  copy_from a;
+  copy_from b;
+  t
+
 let to_json t =
   let entries =
     Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.metrics []

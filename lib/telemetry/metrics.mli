@@ -25,4 +25,10 @@ val counter_value : counter -> int
 val set : gauge -> int -> unit
 val gauge_value : gauge -> int
 
+val merge : t -> t -> t
+(** Fresh registry holding the union by name: counters and gauges sum,
+    histograms and series merge cell-wise; metrics present on one side
+    only are copied. Raises [Invalid_argument] if a name is registered
+    with different metric types on the two sides. *)
+
 val to_json : t -> Json.t

@@ -41,6 +41,32 @@ let bump t ~pid ~step =
     if w + 1 > t.windows then t.windows <- w + 1
   end
 
+(* Cell-wise sum over the pid × window grid. Both series must have been
+   built against the same process count and window size — merging rates
+   bucketed on different step grids would be meaningless. *)
+let merge a b =
+  if a.n <> b.n then invalid_arg "Series.merge: process counts differ";
+  if a.window <> b.window then invalid_arg "Series.merge: window sizes differ";
+  let windows = max a.windows b.windows in
+  let cell row w = if w < Array.length row then row.(w) else 0 in
+  {
+    window = a.window;
+    n = a.n;
+    rows =
+      Array.init a.n (fun pid ->
+          Array.init (max 16 windows) (fun w ->
+              cell a.rows.(pid) w + cell b.rows.(pid) w));
+    windows;
+  }
+
+let copy t =
+  {
+    window = t.window;
+    n = t.n;
+    rows = Array.map Array.copy t.rows;
+    windows = t.windows;
+  }
+
 let row t ~pid =
   (* Rows grow lazily per pid; pad with zeros up to the global width. *)
   let row = t.rows.(pid) in

@@ -19,6 +19,14 @@ val bump : t -> pid:int -> step:int -> unit
 (** Count one event for [pid] in the window containing [step].
     Out-of-range pids are ignored. *)
 
+val merge : t -> t -> t
+(** Fresh series with cell-wise summed counts (commutative, associative).
+    Raises [Invalid_argument] if the process counts or window sizes
+    differ. *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
 val row : t -> pid:int -> int array
 (** Per-window counts for [pid], zero-padded to {!windows} columns. *)
 

@@ -93,6 +93,25 @@ let on_respond t ~pid ~layer ~obj_id ~step ~aborted =
     end
   end
 
+(* Merge the closed-span aggregates of two tracers (latency histograms,
+   completed streaks, contention totals). In-flight state — open spans and
+   running abort streaks — is per-run and deliberately dropped: merging is
+   for fan-out over independent runs, each of which has already finished. *)
+let merge a b =
+  if a.n <> b.n then invalid_arg "Span.merge: process counts differ";
+  {
+    n = a.n;
+    latency = Array.init Sink.n_layers (fun i -> Hist.merge a.latency.(i) b.latency.(i));
+    open_spans = Array.make a.n [];
+    open_count = Hashtbl.create 64;
+    in_window = Hashtbl.create 64;
+    abort_streak = Array.make a.n 0;
+    streaks = Hist.merge a.streaks b.streaks;
+    completed = a.completed + b.completed;
+    contended_spans = a.contended_spans + b.contended_spans;
+    contention_windows = a.contention_windows + b.contention_windows;
+  }
+
 let latency_of t layer = t.latency.(Sink.layer_index layer)
 let completed t = t.completed
 

@@ -28,4 +28,12 @@ val on_respond :
 
 val completed : t -> int
 val latency_of : t -> Sink.layer -> Hist.t
+
+val merge : t -> t -> t
+(** Fresh tracer holding both inputs' closed-span aggregates (latency and
+    streak histograms summed bucket-wise, totals added). In-flight state
+    — open spans, running abort streaks — is dropped: merge is meant for
+    finished, independent runs. Raises [Invalid_argument] if the process
+    counts differ. *)
+
 val to_json : t -> Json.t

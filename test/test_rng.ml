@@ -34,6 +34,26 @@ let test_split_diverges () =
   done;
   Alcotest.(check bool) "split stream is distinct" true (!equal_count < 20)
 
+let test_task_seed_deterministic () =
+  let a = Rng.task_seeds ~master:42L 16 in
+  let b = Rng.task_seeds ~master:42L 16 in
+  Alcotest.(check bool) "same master, same seed array" true (a = b);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int64) "task_seeds agrees with task_seed" s
+        (Rng.task_seed ~master:42L i))
+    a
+
+let test_task_seed_distinct () =
+  let seeds = Array.to_list (Rng.task_seeds ~master:7L 64) in
+  Alcotest.(check int) "all indices distinct" 64
+    (List.length (List.sort_uniq compare seeds));
+  Alcotest.(check bool) "masters diverge" false
+    (Int64.equal (Rng.task_seed ~master:1L 0) (Rng.task_seed ~master:2L 0));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.task_seed: negative index") (fun () ->
+      ignore (Rng.task_seed ~master:1L (-1)))
+
 let test_int_bounds () =
   let rng = Rng.create 3L in
   for _ = 1 to 10_000 do
@@ -106,6 +126,10 @@ let () =
           Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
           Alcotest.test_case "copy is independent" `Quick test_copy_independent;
           Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          Alcotest.test_case "task seeds deterministic" `Quick
+            test_task_seed_deterministic;
+          Alcotest.test_case "task seeds distinct" `Quick
+            test_task_seed_distinct;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
           Alcotest.test_case "int rejects non-positive" `Quick
             test_int_rejects_nonpositive;
