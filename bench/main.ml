@@ -250,6 +250,24 @@ let run_json () =
         if String.equal r.layer layer then Some r.steps_per_sec else None)
       rows
   in
+  (* Reference-vs-compiled backend on the identical full-TBWF stack: the
+     ratio is the compiled backend's speedup (same trace, different
+     execution engine). *)
+  let backend_speedup =
+    match rate "full TBWF op (election + QA)",
+          rate "full TBWF op (compiled backend)" with
+    | Some reference, Some compiled when reference > 0.0 ->
+      let speedup = compiled /. reference in
+      Fmt.pr "backend-speedup: compiled x%.2f vs reference on full TBWF@."
+        speedup;
+      Json.Obj
+        [
+          "reference_steps_per_sec", Json.Float reference;
+          "compiled_steps_per_sec", Json.Float compiled;
+          "speedup", Json.Float speedup;
+        ]
+    | _ -> Json.Null
+  in
   let overhead =
     match rate "full TBWF op (election + QA)",
           rate "full TBWF op + live telemetry" with
@@ -305,6 +323,7 @@ let run_json () =
         "mode", Json.Str (if quick then "quick" else "full");
         "experiments", Json.Arr experiments;
         "throughput", Json.Arr (List.map row_json rows);
+        "backend_speedup", backend_speedup;
         "telemetry_overhead", overhead;
         "parallel_fanout", parallel_fanout;
       ]

@@ -6,7 +6,13 @@
 
 open Cmdliner
 
-let run quick jobs ids =
+let run backend quick jobs ids =
+  match Tbwf_sim.Backend.of_string backend with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit 2
+  | Ok backend ->
+  Tbwf_experiments.Scenario.set_default_backend backend;
   let fmt = Fmt.stdout in
   let entries =
     match ids with
@@ -54,6 +60,13 @@ let quick =
   let doc = "Run smaller configurations (seconds instead of minutes)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let backend =
+  let doc =
+    "Execution backend for every scenario-built stack: reference or \
+     compiled. Tables are byte-identical either way."
+  in
+  Arg.(value & opt string "reference" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let jobs =
   let doc =
     "Domains to fan experiments out over (stdout is byte-identical for \
@@ -69,6 +82,6 @@ let ids =
 let cmd =
   let doc = "regenerate the TBWF evaluation tables" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const run $ quick $ jobs $ ids)
+  Cmd.v info Term.(const run $ backend $ quick $ jobs $ ids)
 
 let () = exit (Cmd.eval cmd)

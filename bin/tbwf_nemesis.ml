@@ -49,15 +49,24 @@ let report_outcome o =
   Fmt.flush fmt ();
   if o.Campaign.o_ok then 0 else 1
 
-let run_campaign name full seed jobs =
+let with_backend name k =
+  match Tbwf_sim.Backend.of_string name with
+  | Ok backend -> k backend
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    2
+
+let run_campaign backend name full seed jobs =
+  with_backend backend @@ fun backend ->
   with_campaign name @@ fun c ->
   report_outcome
-    (Campaign.run ~quick:(not full) ~seed:(Int64.of_int seed)
+    (Campaign.run ~backend ~quick:(not full) ~seed:(Int64.of_int seed)
        ~pool:(pool_of jobs) c)
 
-let matrix full seed jobs =
+let matrix backend full seed jobs =
+  with_backend backend @@ fun backend ->
   let m =
-    Campaign.run_matrix ~pool:(pool_of jobs) ~quick:(not full)
+    Campaign.run_matrix ~backend ~pool:(pool_of jobs) ~quick:(not full)
       ~seed:(Int64.of_int seed) ()
   in
   (* campaign × system grid of degradation verdicts *)
@@ -179,6 +188,12 @@ let seed_arg =
        & info [ "seed" ] ~docv:"SEED"
            ~doc:"Runtime seed (campaigns are deterministic per seed).")
 
+let backend_arg =
+  Arg.(value & opt string "reference"
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend: reference or compiled. Verdicts, \
+                 matrices and telemetry are byte-identical either way.")
+
 let jobs_arg =
   Arg.(value & opt int (Tbwf_parallel.Pool.default_domains ())
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -202,14 +217,16 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"run one campaign against every system; exit 0 iff every \
              verdict matches the campaign's prediction")
-    Term.(const run_campaign $ campaign_arg $ full_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run_campaign $ backend_arg $ campaign_arg $ full_arg $ seed_arg
+      $ jobs_arg)
 
 let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix"
        ~doc:"run the whole catalogue and print the campaign × system \
              degradation matrix")
-    Term.(const matrix $ full_arg $ seed_arg $ jobs_arg)
+    Term.(const matrix $ backend_arg $ full_arg $ seed_arg $ jobs_arg)
 
 let fuzz_cmd =
   let seed =

@@ -42,11 +42,11 @@ type run = {
   verdict : string option;  (* plan runs carry a degradation verdict *)
 }
 
-let run_scenario ~n ~k ~steps ~seed ~window =
+let run_scenario ~backend ~n ~k ~steps ~seed ~window =
   let timely = List.init k (fun i -> n - 1 - i) in
   let stack =
-    Tbwf_system.System.build ~seed ~telemetry:true ~telemetry_window:window ~n
-      Tbwf_system.System.Tbwf_atomic
+    Tbwf_system.System.build ~backend ~seed ~telemetry:true
+      ~telemetry_window:window ~n Tbwf_system.System.Tbwf_atomic
   in
   let rt = stack.Tbwf_system.System.rt in
   let telemetry = Option.get stack.Tbwf_system.System.telemetry in
@@ -65,11 +65,11 @@ let run_scenario ~n ~k ~steps ~seed ~window =
     verdict = None;
   }
 
-let run_plan_file ~path ~system ~seed =
+let run_plan_file ~backend ~path ~system ~seed =
   match Fault_plan.of_string (read_file path) with
   | Error msg -> Error (Fmt.str "bad plan file %s: %s" path msg)
   | Ok plan ->
-    let r = Campaign.run_plan ~seed ~plan ~system () in
+    let r = Campaign.run_plan ~backend ~seed ~plan ~system () in
     let v = r.Campaign.rr_verdict in
     Ok
       {
@@ -91,7 +91,10 @@ let run_plan_file ~path ~system ~seed =
 
 (* Quick dimensions are E1's quick dimensions; the default seed is E1's
    per-k seed so the exported numbers line up with its table. *)
-let resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window =
+let resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window =
+  match Tbwf_sim.Backend.of_string backend with
+  | Error msg -> Error msg
+  | Ok backend -> (
   match plan with
   | Some path -> (
     match Campaign.system_of_name system with
@@ -102,7 +105,7 @@ let resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window =
         | Some s -> Int64.of_int s
         | None -> Campaign.default_seed
       in
-      run_plan_file ~path ~system ~seed)
+      run_plan_file ~backend ~path ~system ~seed)
   | None ->
     let n = Option.value n ~default:(if full then 8 else 4) in
     let k = Option.value k ~default:n in
@@ -116,11 +119,11 @@ let resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window =
         | Some s -> Int64.of_int s
         | None -> Int64.of_int (1000 + k)
       in
-      Ok (run_scenario ~n ~k ~steps ~seed ~window)
-    end
+      Ok (run_scenario ~backend ~n ~k ~steps ~seed ~window)
+    end)
 
-let with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
-  match resolve ~plan ~system ~full ~n ~k ~steps ~seed ~window with
+let with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
+  match resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window with
   | Error msg ->
     Fmt.epr "%s@." msg;
     2
@@ -128,8 +131,9 @@ let with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
 
 (* --- subcommands ---------------------------------------------------------- *)
 
-let run_cmd_impl plan system full n k steps seed window width =
-  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+let run_cmd_impl backend plan system full n k steps seed window width =
+  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+  @@ fun run ->
   Fmt.pf fmt "%s@." run.describe;
   Option.iter (Fmt.pf fmt "%s@.") run.verdict;
   Fmt.pf fmt "@.%a@." Collector.pp_summary run.telemetry;
@@ -137,16 +141,18 @@ let run_cmd_impl plan system full n k steps seed window width =
   Fmt.flush fmt ();
   0
 
-let timeline_cmd_impl plan system full n k steps seed window width =
-  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+let timeline_cmd_impl backend plan system full n k steps seed window width =
+  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+  @@ fun run ->
   Fmt.pf fmt "%s@.@.%a" run.describe Timeline.pp
     (Timeline.build ~width run.telemetry);
   Fmt.flush fmt ();
   0
 
-let export_cmd_impl plan system full n k steps seed window pretty out
-    check_schema write_schema =
-  with_run ~plan ~system ~full ~n ~k ~steps ~seed ~window @@ fun run ->
+let export_cmd_impl backend plan system full n k steps seed window pretty
+    out check_schema write_schema =
+  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+  @@ fun run ->
   let snapshot = Collector.snapshot run.telemetry in
   let text =
     if pretty then Json.to_string_pretty snapshot
@@ -236,6 +242,13 @@ let seed_arg =
            ~doc:"Runtime seed. Default: E1's per-k seed (1000+k) in \
                  scenario mode, the nemesis default in plan mode.")
 
+let backend_arg =
+  Arg.(value & opt string "reference"
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend: reference (effects runtime) or \
+                 compiled (flattened step machines). Observable output \
+                 is byte-identical either way.")
+
 let window_arg =
   Arg.(value & opt int 1024
        & info [ "window" ] ~docv:"STEPS"
@@ -247,10 +260,10 @@ let width_arg =
 
 let common f =
   Term.(
-    const (fun plan system full _quick n k steps seed window ->
-        f ~plan ~system ~full ~n ~k ~steps ~seed ~window)
-    $ plan_arg $ system_arg $ full_arg $ quick_arg $ n_arg $ k_arg
-    $ steps_arg $ seed_arg $ window_arg)
+    const (fun backend plan system full _quick n k steps seed window ->
+        f ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window)
+    $ backend_arg $ plan_arg $ system_arg $ full_arg $ quick_arg $ n_arg
+    $ k_arg $ steps_arg $ seed_arg $ window_arg)
 
 let run_cmd =
   Cmd.v
@@ -258,8 +271,9 @@ let run_cmd =
        ~doc:"run a scenario or plan and print the telemetry summary plus \
              the progress/leader timeline")
     Term.(
-      common (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
-          run_cmd_impl plan system full n k steps seed window width)
+      common
+        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
+          run_cmd_impl backend plan system full n k steps seed window width)
       $ width_arg)
 
 let timeline_cmd =
@@ -268,8 +282,10 @@ let timeline_cmd =
        ~doc:"run a scenario or plan and print only the progress/leader \
              timeline")
     Term.(
-      common (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
-          timeline_cmd_impl plan system full n k steps seed window width)
+      common
+        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
+          timeline_cmd_impl backend plan system full n k steps seed window
+            width)
       $ width_arg)
 
 let export_cmd =
@@ -299,10 +315,10 @@ let export_cmd =
              telemetry snapshot")
     Term.(
       common
-        (fun ~plan ~system ~full ~n ~k ~steps ~seed ~window pretty out
-             check_schema write_schema ->
-          export_cmd_impl plan system full n k steps seed window pretty out
-            check_schema write_schema)
+        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window pretty
+             out check_schema write_schema ->
+          export_cmd_impl backend plan system full n k steps seed window
+            pretty out check_schema write_schema)
       $ pretty $ out $ check_schema $ write_schema)
 
 let list_systems_cmd =

@@ -1,0 +1,69 @@
+(** Differential verification of the two execution backends.
+
+    The simulator's determinism contract (see {!Tbwf_sim.Backend}) is that
+    the reference effects runtime and the compiled machine backend are
+    observationally byte-identical: same {!Tbwf_sim.Trace.fingerprint},
+    same telemetry snapshot, for every (system, seed, policy, fault
+    configuration). This module runs the same stack once per backend and
+    compares the observations, reporting the first divergent line when the
+    contract is broken so a regression points at a step, not just a
+    digest mismatch.
+
+    Fault-plan differentials (nemesis campaigns) compose through
+    [configure] — install crashes and pass the plan's abort policies —
+    since this library sits below [Tbwf_nemesis] in the dependency
+    order. *)
+
+open Tbwf_sim
+
+type observation = {
+  fingerprint : string;  (** {!Trace.fingerprint} of the finished run *)
+  telemetry : string option;
+      (** {!Tbwf_telemetry.Collector.snapshot_string}, when a collector
+          was attached *)
+}
+
+val observe :
+  ?backend:Backend.t ->
+  ?seed:int64 ->
+  ?telemetry:bool ->
+  ?qa_policy:Tbwf_registers.Abort_policy.t ->
+  ?mesh_policy:Tbwf_registers.Abort_policy.t ->
+  ?configure:(Tbwf_system.System.stack -> unit) ->
+  ?policy:(unit -> Policy.t) ->
+  ?steps:int ->
+  n:int ->
+  Tbwf_system.System.id ->
+  observation
+(** Build the system on [backend] (default [Reference]), apply
+    [configure] (default nothing — use it to install crashes or record
+    extra probes), run [steps] (default 4000) under a fresh [policy]
+    (default round-robin) and return the run's observation. [policy] is a
+    thunk because policies are stateful: each backend must get its own. *)
+
+type verdict =
+  | Agree
+  | Diverge of {
+      field : string;  (** ["fingerprint"] or ["telemetry"] *)
+      line : int;  (** 1-based line of first difference *)
+      reference : string;  (** that line on the reference backend *)
+      compiled : string;  (** that line on the compiled backend *)
+    }
+
+val compare_observations : observation -> observation -> verdict
+(** [compare_observations reference compiled]. *)
+
+val check :
+  ?seed:int64 ->
+  ?telemetry:bool ->
+  ?qa_policy:Tbwf_registers.Abort_policy.t ->
+  ?mesh_policy:Tbwf_registers.Abort_policy.t ->
+  ?configure:(Tbwf_system.System.stack -> unit) ->
+  ?policy:(unit -> Policy.t) ->
+  ?steps:int ->
+  n:int ->
+  Tbwf_system.System.id ->
+  verdict
+(** Run the same configuration on both backends and compare. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

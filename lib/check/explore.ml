@@ -10,6 +10,7 @@ type fuzz_outcome = {
   fuzz_runs : int;
   counterexample : int list option;
   shrunk_from : int option;
+  exhausted_batch : (int * int64) option;
 }
 
 (* --- replay ------------------------------------------------------------- *)
@@ -446,7 +447,25 @@ let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ?pool ~max_steps ~scenario
   in
   let executed, witness = fuzz_select ?pool ~runs run_batch in
   match witness with
-  | None -> { fuzz_runs = executed; counterexample = None; shrunk_from = None }
+  | None ->
+    (* Budget exhausted without a witness: record the batch that was in
+       flight (the last one, by the in-order selection contract) and its
+       derived stream seed, so a longer or cross-backend re-run can pick
+       up the search from exactly this stream instead of restarting the
+       whole partition blind. *)
+    let exhausted_batch =
+      let n_batches = fuzz_n_batches runs in
+      if n_batches = 0 then None
+      else
+        let k = n_batches - 1 in
+        Some (k, Rng.task_seed ~master:seed k)
+    in
+    {
+      fuzz_runs = executed;
+      counterexample = None;
+      shrunk_from = None;
+      exhausted_batch;
+    }
   | Some pids ->
     let fails candidate =
       not (replay ~max_steps ~scenario ~make_runtime candidate)
@@ -456,6 +475,7 @@ let fuzz ?(seed = 0x5EED5EEDL) ?(runs = 1_000) ?pool ~max_steps ~scenario
       fuzz_runs = executed;
       counterexample = Some minimal;
       shrunk_from = Some (List.length pids);
+      exhausted_batch = None;
     }
 
 (* --- fuzzing schedules *and* fault plans --------------------------------- *)

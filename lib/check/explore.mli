@@ -104,6 +104,13 @@ type fuzz_outcome = {
       (** minimal failing pid schedule, if a violation was found *)
   shrunk_from : int option;
       (** length of the original failing schedule before shrinking *)
+  exhausted_batch : (int * int64) option;
+      (** [Some (k, task_seed)] iff the run budget was exhausted without a
+          witness: the index of the batch in flight when the budget ran
+          out and its {!Tbwf_sim.Rng.task_seed}-derived stream seed. A
+          partial outcome is thereby replayable — a follow-up fuzz (same
+          or other execution backend) can resume from exactly that
+          stream. [None] when a counterexample was found. *)
 }
 
 val fuzz_batch_runs : int

@@ -1,0 +1,149 @@
+open Tbwf_sim
+open Tbwf_omega
+open Tbwf_core
+
+type attempt = Op | Query
+
+(* Figure 7's invoke wrapped in the Workload client loop, as one machine.
+   pc 0: fetch the next operation; 1: the canonical leader-wait gate;
+   2: the leader-gated attempt loop; 3: an attempt's result arrived. *)
+let boosted rt ~pid ~(handle : Omega_spec.handle) ~canonical ~qa
+    ~(stats : Workload.stats) ~next_op : Runtime.machine =
+  let k = ref 0 in
+  let cur_op = ref Value.Unit in
+  let next = ref Op in
+  let pc = ref 0 in
+  let is_leader () =
+    Omega_spec.equal_view !(handle.Omega_spec.leader) (Omega_spec.Leader pid)
+  in
+  let rec exec v =
+    match !pc with
+    | 0 -> (
+      match next_op ~pid ~k:!k with
+      | None -> Runtime.M_halt
+      | Some op ->
+        stats.Workload.issued.(pid) <- stats.Workload.issued.(pid) + 1;
+        cur_op := op;
+        next := Op;
+        if canonical then begin
+          pc := 1;
+          exec v
+        end
+        else begin
+          handle.Omega_spec.candidate := true;
+          pc := 2;
+          exec v
+        end)
+    | 1 ->
+      (* await (not is_leader ()) — checks before the first yield *)
+      if is_leader () then Runtime.M_yield
+      else begin
+        handle.Omega_spec.candidate := true;
+        pc := 2;
+        exec v
+      end
+    | 2 ->
+      if is_leader () then begin
+        let obj, op =
+          match !next with
+          | Op -> qa.Qa_call.invoke_call ~pid !cur_op
+          | Query -> qa.Qa_call.query_call ~pid
+        in
+        pc := 3;
+        Runtime.M_call (obj, op)
+      end
+      else Runtime.M_yield
+    | 3 -> (
+      let res =
+        match !next with
+        | Op -> v
+        | Query -> qa.Qa_call.query_result ~pid v
+      in
+      match res with
+      | Value.Abort ->
+        next := Query;
+        pc := 2;
+        exec Value.Unit
+      | Value.Fail ->
+        next := Op;
+        pc := 2;
+        exec Value.Unit
+      | response ->
+        handle.Omega_spec.candidate := false;
+        stats.Workload.completed.(pid) <- stats.Workload.completed.(pid) + 1;
+        stats.Workload.last_response.(pid) <- Some response;
+        if Runtime.telemetry_active rt then
+          Runtime.signal rt ~pid Sink.Op_complete;
+        incr k;
+        pc := 0;
+        exec Value.Unit)
+    | _ -> assert false
+  in
+  exec
+
+(* The retry baseline's op/query/retry automaton: as above with no leader
+   gate and no candidacy — consecutive attempts are back-to-back calls. *)
+let retry rt ~pid ~qa ~(stats : Workload.stats) ~next_op : Runtime.machine =
+  let k = ref 0 in
+  let cur_op = ref Value.Unit in
+  let next = ref Op in
+  let pc = ref 0 in
+  let rec exec v =
+    match !pc with
+    | 0 -> (
+      match next_op ~pid ~k:!k with
+      | None -> Runtime.M_halt
+      | Some op ->
+        stats.Workload.issued.(pid) <- stats.Workload.issued.(pid) + 1;
+        cur_op := op;
+        next := Op;
+        pc := 2;
+        exec v)
+    | 2 ->
+      let obj, op =
+        match !next with
+        | Op -> qa.Qa_call.invoke_call ~pid !cur_op
+        | Query -> qa.Qa_call.query_call ~pid
+      in
+      pc := 3;
+      Runtime.M_call (obj, op)
+    | 3 -> (
+      let res =
+        match !next with
+        | Op -> v
+        | Query -> qa.Qa_call.query_result ~pid v
+      in
+      match res with
+      | Value.Abort ->
+        next := Query;
+        pc := 2;
+        exec Value.Unit
+      | Value.Fail ->
+        next := Op;
+        pc := 2;
+        exec Value.Unit
+      | response ->
+        stats.Workload.completed.(pid) <- stats.Workload.completed.(pid) + 1;
+        stats.Workload.last_response.(pid) <- Some response;
+        if Runtime.telemetry_active rt then
+          Runtime.signal rt ~pid Sink.Op_complete;
+        incr k;
+        pc := 0;
+        exec Value.Unit)
+    | _ -> assert false
+  in
+  exec
+
+let spawn_boosted_clients rt ~pids ~handles ~canonical ~qa ~stats ~next_op =
+  List.iter
+    (fun pid ->
+      Runtime.spawn_machine ~layer:Sink.App rt ~pid ~name:"client"
+        (boosted rt ~pid ~handle:handles.(pid) ~canonical ~qa ~stats ~next_op))
+    pids
+
+let spawn_retry_clients rt ~pids ~qa ~stats ~next_op =
+  List.iter
+    (fun pid ->
+      Runtime.spawn_machine ~layer:Sink.App rt ~pid ~name:"client"
+        (retry rt ~pid ~qa ~stats ~next_op))
+    pids

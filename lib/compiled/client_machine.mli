@@ -1,0 +1,47 @@
+(** Compiled client tasks: the Workload client loop fused with Figure 7's
+    invoke (boosted systems) or the bare retry automaton ({!Tbwf_system}'s
+    [Retry] baseline), as effect-free machines.
+
+    Both mirror [Workload.spawn_clients] + [Tbwf_core.Tbwf.invoke] /
+    [Baselines.retry_invoke] step for step: same stats updates, same
+    [Sink.Op_complete] signals, same spawn order, names and layers. *)
+
+open Tbwf_sim
+open Tbwf_omega
+open Tbwf_core
+
+val boosted :
+  Runtime.t ->
+  pid:int ->
+  handle:Omega_spec.handle ->
+  canonical:bool ->
+  qa:Qa_call.t ->
+  stats:Workload.stats ->
+  next_op:(pid:int -> k:int -> Value.t option) ->
+  Runtime.machine
+
+val retry :
+  Runtime.t ->
+  pid:int ->
+  qa:Qa_call.t ->
+  stats:Workload.stats ->
+  next_op:(pid:int -> k:int -> Value.t option) ->
+  Runtime.machine
+
+val spawn_boosted_clients :
+  Runtime.t ->
+  pids:int list ->
+  handles:Omega_spec.handle array ->
+  canonical:bool ->
+  qa:Qa_call.t ->
+  stats:Workload.stats ->
+  next_op:(pid:int -> k:int -> Value.t option) ->
+  unit
+
+val spawn_retry_clients :
+  Runtime.t ->
+  pids:int list ->
+  qa:Qa_call.t ->
+  stats:Workload.stats ->
+  next_op:(pid:int -> k:int -> Value.t option) ->
+  unit

@@ -1,0 +1,116 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_monitor
+
+(* Figure 2 top, compiled: the monitored process q's heartbeat loop.
+   pc 0: write the −1 sentinel; 1: sentinel written, awaiting active_for;
+   2: a beat was written, keep beating while active. *)
+let monitored (t : Activity_monitor.t) : Runtime.machine =
+  let reg = t.Activity_monitor.hb_register in
+  let obj = Atomic_reg.shared reg in
+  let reset_op = Value.write_op (Atomic_reg.encode reg (-1)) in
+  let hb_counter = ref 0 in
+  let pc = ref 0 in
+  let rec exec v =
+    match !pc with
+    | 0 ->
+      pc := 1;
+      Runtime.M_call (obj, reset_op)
+    | 1 ->
+      if !(t.Activity_monitor.active_for) then begin
+        incr hb_counter;
+        pc := 2;
+        Runtime.M_call (obj, Value.write_op (Value.Int !hb_counter))
+      end
+      else Runtime.M_yield
+    | 2 ->
+      if !(t.Activity_monitor.active_for) then begin
+        incr hb_counter;
+        Runtime.M_call (obj, Value.write_op (Value.Int !hb_counter))
+      end
+      else begin
+        pc := 0;
+        exec v
+      end
+    | _ -> assert false
+  in
+  exec
+
+(* Figure 2 bottom, compiled: the monitoring process p's polling loop.
+   pc 0: outer-loop top (status reset); 1: awaiting monitoring; 2: timer
+   tick; 3: a heartbeat read returned. *)
+let monitoring ~adapt ~increment_guards rt (t : Activity_monitor.t) :
+    Runtime.machine =
+  let reg = t.Activity_monitor.hb_register in
+  let obj = Atomic_reg.shared reg in
+  let hb_timeout = ref 1 in
+  let hb_timer = ref 1 in
+  let hb_counter = ref 0 in
+  let prev_hb_counter = ref 0 in
+  let allow_increment = ref true in
+  let pc = ref 0 in
+  let rec exec v =
+    match !pc with
+    | 0 ->
+      t.Activity_monitor.status := Activity_monitor.Unknown;
+      pc := 1;
+      exec v
+    | 1 ->
+      if !(t.Activity_monitor.monitoring) then begin
+        hb_timer := !hb_timeout;
+        pc := 2;
+        exec v
+      end
+      else Runtime.M_yield
+    | 2 ->
+      if not !(t.Activity_monitor.monitoring) then begin
+        pc := 0;
+        exec v
+      end
+      else begin
+        if !hb_timer >= 1 then decr hb_timer;
+        if !hb_timer = 0 then begin
+          hb_timer := !hb_timeout;
+          prev_hb_counter := !hb_counter;
+          pc := 3;
+          Runtime.M_call (obj, Value.read_op)
+        end
+        else Runtime.M_yield
+      end
+    | 3 ->
+      hb_counter := Atomic_reg.decode reg v;
+      if !hb_counter < 0 then
+        Activity_monitor.set_status rt t Activity_monitor.Inactive;
+      if !hb_counter >= 0 && !hb_counter > !prev_hb_counter then begin
+        Activity_monitor.set_status rt t Activity_monitor.Active;
+        allow_increment := true
+      end;
+      if increment_guards then begin
+        if !hb_counter >= 0 && !hb_counter <= !prev_hb_counter then begin
+          Activity_monitor.set_status rt t Activity_monitor.Inactive;
+          if !allow_increment then begin
+            incr t.Activity_monitor.fault_cntr;
+            hb_timeout := adapt !hb_timeout;
+            allow_increment := false
+          end
+        end
+      end
+      else if !hb_counter <= !prev_hb_counter then begin
+        Activity_monitor.set_status rt t Activity_monitor.Inactive;
+        incr t.Activity_monitor.fault_cntr;
+        hb_timeout := adapt !hb_timeout
+      end;
+      pc := 2;
+      exec Value.Unit
+    | _ -> assert false
+  in
+  exec
+
+let install ?(adapt = succ) ?(increment_guards = true) rt ~p ~q =
+  let t = Activity_monitor.make rt ~p ~q in
+  let hb_name, watch_name = Activity_monitor.task_names t in
+  Runtime.spawn_machine ~layer:Sink.Monitor rt ~pid:q ~name:hb_name
+    (monitored t);
+  Runtime.spawn_machine ~layer:Sink.Monitor rt ~pid:p ~name:watch_name
+    (monitoring ~adapt ~increment_guards rt t);
+  t

@@ -1,0 +1,30 @@
+(** Compiled activity monitors: Figure 2's two loops as machines.
+
+    {!install} mirrors [Activity_monitor.install] exactly — same register
+    creation point (via [Activity_monitor.make]), same task names, pids,
+    layers and spawn order — so a compiled stack assigns identical object
+    ids and produces an identical trace. *)
+
+open Tbwf_sim
+open Tbwf_monitor
+
+val monitored : Activity_monitor.t -> Runtime.machine
+(** The monitored process q's heartbeat loop (runs at pid [t.q]). *)
+
+val monitoring :
+  adapt:(int -> int) ->
+  increment_guards:bool ->
+  Runtime.t ->
+  Activity_monitor.t ->
+  Runtime.machine
+(** The monitoring process p's polling loop (runs at pid [t.p]). *)
+
+val install :
+  ?adapt:(int -> int) ->
+  ?increment_guards:bool ->
+  Runtime.t ->
+  p:int ->
+  q:int ->
+  Activity_monitor.t
+(** As [Activity_monitor.install] with machine-compiled loops; defaults
+    match ([adapt] = [succ], [increment_guards] = [true]). *)

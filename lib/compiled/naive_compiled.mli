@@ -1,0 +1,13 @@
+(** Compiled naive-booster baseline: min-alive-pid election with doubling
+    monitor timeouts and no punishment, mirroring
+    [Baselines.Naive_booster.install] (same monitor mesh creation order,
+    task names, layers and spawn order). *)
+
+open Tbwf_sim
+open Tbwf_core
+
+val machine :
+  Runtime.t -> Baselines.Naive_booster.t -> int -> int -> Runtime.machine
+(** [machine rt t p n] is process [p]'s election loop. *)
+
+val install : Runtime.t -> Baselines.Naive_booster.t

@@ -1,0 +1,276 @@
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+
+(* Figure 6's main loop with the Figure 4 message channel and Figure 5
+   two-register heartbeat inlined. All channel/heartbeat endpoint state is
+   task-local in the reference ([Msg_channel.create]/[Heartbeat.create]
+   inside the task body), so the machine owns equivalent plain arrays.
+
+   pc map:
+   0  outer-loop top (leave)
+   1  awaiting candidacy (then the joining self-punishment)
+   2  inner-loop top: SendHeartbeat begins
+   3  heartbeat-send scan (index [si])
+   4  a Hb1 write returned (Hb2 write follows)
+   5  a Hb2 write returned
+   6  ReceiveHeartbeat scan (index [ri])
+   7  a Hb1 read returned (Hb2 read follows)
+   8  a Hb2 read returned (freshness verdict)
+   9  leader choice and message preparation
+   10 WriteMsgs scan (index [wi])
+   11 a message write returned
+   12 ReadMsgs scan (index [mi])
+   13 a message read returned
+   14 counter merge + end-of-iteration yield
+   15 after the yield: candidacy check *)
+let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
+  let handle = t.Omega_abortable.handles.(p) in
+  let msg_w q = Option.get t.Omega_abortable.msg_registers.(p).(q) in
+  let msg_r q = Option.get t.Omega_abortable.msg_registers.(q).(p) in
+  let hb1_w q = Option.get t.Omega_abortable.hb_mesh.Heartbeat.hb1.(p).(q) in
+  let hb2_w q = Option.get t.Omega_abortable.hb_mesh.Heartbeat.hb2.(p).(q) in
+  let hb1_r q = Option.get t.Omega_abortable.hb_mesh.Heartbeat.hb1.(q).(p) in
+  let hb2_r q = Option.get t.Omega_abortable.hb_mesh.Heartbeat.hb2.(q).(p) in
+  (* Figure 6 locals *)
+  let leader = ref p in
+  let counter = Array.make n 0 in
+  let actr_to = Array.make n 0 in
+  let msg_to = Array.make n (0, 0) in
+  (* writeDone starts as a fresh all-false array and aliases the channel's
+     prevWriteDone from the first WriteMsgs on. *)
+  let first_send = ref true in
+  (* heartbeat endpoint state (Figure 5) *)
+  let hb_send_counter = ref 0 in
+  let hb_timeout = Array.make n 1 in
+  let hb_timer = Array.make n 1 in
+  let prev_hb1 = Array.make n (Some 0) in
+  let prev_hb2 = Array.make n (Some 0) in
+  let cur_hb1 = Array.make n (Some 0) in
+  let cur_hb2 = Array.make n (Some 0) in
+  let active_set = Array.make n false in
+  active_set.(p) <- true;
+  (* message-channel endpoint state (Figure 4) *)
+  let msg_curr = Array.make n (0, 0) in
+  let prev_write_done = Array.make n true in
+  let prev_msg_from = Array.make n (0, 0) in
+  let read_timer = Array.make n 1 in
+  let read_timeout = Array.make n 1 in
+  let si = ref 0 in
+  let ri = ref 0 in
+  let wi = ref 0 in
+  let mi = ref 0 in
+  let pc = ref 0 in
+  let read_result reg v =
+    match v with Value.Abort -> None | v -> Some (Abortable_reg.decode reg v)
+  in
+  let rec exec v =
+    match !pc with
+    | 0 ->
+      Omega_spec.set_view rt handle Omega_spec.No_leader;
+      pc := 1;
+      exec v
+    | 1 ->
+      if !(handle.Omega_spec.candidate) then begin
+        counter.(p) <- max counter.(p) (counter.(!leader) + 1);
+        pc := 2;
+        exec v
+      end
+      else Runtime.M_yield
+    | 2 ->
+      incr hb_send_counter;
+      si := 0;
+      pc := 3;
+      exec v
+    | 3 ->
+      if !si >= n then begin
+        ri := 0;
+        pc := 6;
+        exec v
+      end
+      else begin
+        let q = !si in
+        if q <> p && (not !first_send) && prev_write_done.(q) then begin
+          pc := 4;
+          Runtime.M_call
+            ( Abortable_reg.shared (hb1_w q),
+              Value.write_op (Value.Int !hb_send_counter) )
+        end
+        else begin
+          incr si;
+          exec v
+        end
+      end
+    | 4 ->
+      pc := 5;
+      Runtime.M_call
+        ( Abortable_reg.shared (hb2_w !si),
+          Value.write_op (Value.Int !hb_send_counter) )
+    | 5 ->
+      incr si;
+      pc := 3;
+      exec Value.Unit
+    | 6 ->
+      if !ri >= n then begin
+        pc := 9;
+        exec v
+      end
+      else begin
+        let q = !ri in
+        if q = p then begin
+          incr ri;
+          exec v
+        end
+        else begin
+          if hb_timer.(q) >= 1 then hb_timer.(q) <- hb_timer.(q) - 1;
+          if hb_timer.(q) = 0 then begin
+            hb_timer.(q) <- hb_timeout.(q);
+            prev_hb1.(q) <- cur_hb1.(q);
+            prev_hb2.(q) <- cur_hb2.(q);
+            pc := 7;
+            Runtime.M_call (Abortable_reg.shared (hb1_r q), Value.read_op)
+          end
+          else begin
+            incr ri;
+            exec v
+          end
+        end
+      end
+    | 7 ->
+      cur_hb1.(!ri) <- read_result (hb1_r !ri) v;
+      pc := 8;
+      Runtime.M_call (Abortable_reg.shared (hb2_r !ri), Value.read_op)
+    | 8 ->
+      let q = !ri in
+      cur_hb2.(q) <- read_result (hb2_r q) v;
+      let fresh cur prev =
+        match cur with None -> true | Some _ -> cur <> prev
+      in
+      if fresh cur_hb1.(q) prev_hb1.(q) && fresh cur_hb2.(q) prev_hb2.(q) then
+        active_set.(q) <- true
+      else begin
+        active_set.(q) <- false;
+        hb_timeout.(q) <- hb_timeout.(q) + 1
+      end;
+      incr ri;
+      pc := 6;
+      exec Value.Unit
+    | 9 ->
+      let best = ref p in
+      for q = 0 to n - 1 do
+        if active_set.(q) && (counter.(q), q) < (counter.(!best), !best) then
+          best := q
+      done;
+      leader := !best;
+      Omega_spec.set_view rt handle (Omega_spec.Leader !leader);
+      for q = 0 to n - 1 do
+        if q <> p then begin
+          if not active_set.(q) then
+            actr_to.(q) <- max actr_to.(q) (counter.(!leader) + 1);
+          msg_to.(q) <- counter.(p), actr_to.(q)
+        end
+      done;
+      wi := 0;
+      pc := 10;
+      exec v
+    | 10 ->
+      if !wi >= n then begin
+        first_send := false;
+        mi := 0;
+        pc := 12;
+        exec v
+      end
+      else begin
+        let q = !wi in
+        if
+          q <> p
+          && ((not prev_write_done.(q)) || msg_curr.(q) <> msg_to.(q))
+        then begin
+          if prev_write_done.(q) then msg_curr.(q) <- msg_to.(q);
+          let reg = msg_w q in
+          pc := 11;
+          Runtime.M_call
+            ( Abortable_reg.shared reg,
+              Value.write_op (Abortable_reg.encode reg msg_curr.(q)) )
+        end
+        else begin
+          incr wi;
+          exec v
+        end
+      end
+    | 11 ->
+      prev_write_done.(!wi) <- (match v with Value.Abort -> false | _ -> true);
+      incr wi;
+      pc := 10;
+      exec Value.Unit
+    | 12 ->
+      if !mi >= n then begin
+        pc := 14;
+        exec v
+      end
+      else begin
+        let q = !mi in
+        if q = p then begin
+          incr mi;
+          exec v
+        end
+        else begin
+          if read_timer.(q) >= 1 then read_timer.(q) <- read_timer.(q) - 1;
+          if read_timer.(q) = 0 then begin
+            read_timer.(q) <- read_timeout.(q);
+            pc := 13;
+            Runtime.M_call (Abortable_reg.shared (msg_r q), Value.read_op)
+          end
+          else begin
+            incr mi;
+            exec v
+          end
+        end
+      end
+    | 13 ->
+      let q = !mi in
+      (match read_result (msg_r q) v with
+      | None -> read_timeout.(q) <- read_timeout.(q) + 1
+      | Some m when m = prev_msg_from.(q) ->
+        read_timeout.(q) <- read_timeout.(q) + 1
+      | Some m ->
+        prev_msg_from.(q) <- m;
+        read_timeout.(q) <- 1);
+      incr mi;
+      pc := 12;
+      exec Value.Unit
+    | 14 ->
+      for q = 0 to n - 1 do
+        if q <> p then begin
+          let counter_q, actr_from_q = prev_msg_from.(q) in
+          counter.(q) <- counter_q;
+          counter.(p) <- max counter.(p) actr_from_q
+        end
+      done;
+      pc := 15;
+      Runtime.M_yield
+    | 15 ->
+      if !(handle.Omega_spec.candidate) then begin
+        pc := 2;
+        exec v
+      end
+      else begin
+        pc := 0;
+        exec v
+      end
+    | _ -> assert false
+  in
+  exec
+
+let install rt ~policy ?write_effect () =
+  let n = Runtime.n rt in
+  let msg_registers = Msg_channel.registers rt ~policy ?write_effect ~n () in
+  let hb_mesh = Heartbeat.registers rt ~policy ?write_effect ~n () in
+  let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
+  let t = { Omega_abortable.handles; msg_registers; hb_mesh } in
+  for p = 0 to n - 1 do
+    Runtime.spawn_machine ~layer:Sink.Omega rt ~pid:p
+      ~name:(Fmt.str "omega-ab[%d]" p)
+      (machine rt t p n)
+  done;
+  t

@@ -1,0 +1,23 @@
+(** Compiled Ω∆ over abortable registers (Figure 6), with the Figure 4
+    message channel and Figure 5 two-register heartbeat inlined into the
+    machine — their endpoint state is task-local in the reference, so the
+    machine owns equivalent arrays and reproduces the same register
+    operations in the same order.
+
+    {!install} mirrors [Omega_abortable.install]: same register-mesh
+    creation order (message registers then both heartbeat meshes), same
+    task names, layers and spawn order, same record type. *)
+
+open Tbwf_sim
+open Tbwf_registers
+open Tbwf_omega
+
+val machine : Runtime.t -> Omega_abortable.t -> int -> int -> Runtime.machine
+(** [machine rt t p n] is process [p]'s main loop. *)
+
+val install :
+  Runtime.t ->
+  policy:Abort_policy.t ->
+  ?write_effect:Abort_policy.write_effect ->
+  unit ->
+  Omega_abortable.t

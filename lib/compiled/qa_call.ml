@@ -1,0 +1,53 @@
+open Tbwf_sim
+open Tbwf_objects
+
+type t = {
+  invoke_call : pid:int -> Value.t -> Shared.t * Value.t;
+  query_call : pid:int -> Shared.t * Value.t;
+  query_result : pid:int -> Value.t -> Value.t;
+}
+
+let lookup_fate pid entries =
+  List.find_map
+    (function Value.Pair (Int p, fate) when p = pid -> Some fate | _ -> None)
+    entries
+
+let of_qa ~n (qa : Qa_intf.t) =
+  match qa.Qa_intf.view with
+  | Qa_intf.Direct obj ->
+    {
+      invoke_call = (fun ~pid:_ op -> obj, Value.Pair (Str "apply", op));
+      query_call = (fun ~pid:_ -> obj, Value.Pair (Str "query", Unit));
+      query_result = (fun ~pid:_ v -> v);
+    }
+  | Qa_intf.Universal cell ->
+    (* The universal construction's op-id bookkeeping lives on the client
+       side (see [Qa_universal]): per-pid sequence numbers and the id of
+       the last issued operation. A pid's ops are only ever issued by that
+       pid's client, so dense per-pid arrays replace the hashtables. *)
+    let sequence = Array.make n 0 in
+    let last_op_id = Array.make n None in
+    {
+      invoke_call =
+        (fun ~pid op ->
+          let k = sequence.(pid) + 1 in
+          sequence.(pid) <- k;
+          let op_id = Value.Pair (Int pid, Int k) in
+          last_op_id.(pid) <- Some op_id;
+          cell, Value.Pair (Str "rmw", Pair (op_id, op)));
+      query_call = (fun ~pid:_ -> cell, Value.read_op);
+      query_result =
+        (fun ~pid v ->
+          match v with
+          | Value.Abort -> Value.Abort
+          | Value.Pair (_, List fates) -> (
+            match lookup_fate pid fates, last_op_id.(pid) with
+            | Some (Value.Pair (op_id, response)), Some issued
+              when Value.equal op_id issued ->
+              response
+            | _, _ -> Value.Fail)
+          | v ->
+            invalid_arg
+              (Fmt.str "Qa_call %s: bad cell state %a" qa.Qa_intf.name
+                 Value.pp v));
+    }

@@ -1,0 +1,28 @@
+(** Compiled client-side view of a query-abortable object.
+
+    In the reference backend [Qa_intf.invoke]/[query] are closures that
+    perform effects. The compiled client machines instead need, for each
+    attempt, the raw (object, operation) pair to emit as an [M_call] and a
+    pure post-processing function for the result. Both QA implementations
+    reduce to exactly one shared-object operation per attempt, so this is
+    a complete compilation of the client side. *)
+
+open Tbwf_sim
+open Tbwf_objects
+
+type t = {
+  invoke_call : pid:int -> Value.t -> Shared.t * Value.t;
+      (** the single operation [invoke op] performs, with any client-side
+          bookkeeping (op-id sequencing for the universal construction)
+          done at build time — i.e. at the invocation step, as in the
+          reference closures *)
+  query_call : pid:int -> Shared.t * Value.t;
+  query_result : pid:int -> Value.t -> Value.t;
+      (** post-process a query's raw result (fate lookup for the
+          universal construction; identity for the direct object) *)
+}
+
+val of_qa : n:int -> Qa_intf.t -> t
+(** Compile [qa]'s client side for a runtime with [n] processes. The
+    returned value owns the per-pid op-id state for the universal
+    construction, so build exactly one per stack. *)

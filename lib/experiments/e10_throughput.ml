@@ -70,15 +70,22 @@ let qa_object_ops steps () =
   Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
   Runtime.stop rt
 
-let full_tbwf_ops steps () =
+(* The reference/compiled pair below runs the identical stack (same seed,
+   same wiring, byte-identical trace) on both execution backends; their
+   steps/sec ratio is the compiled backend's speedup and is reported as
+   [backend_speedup] in the --json output. *)
+let full_tbwf ~backend steps () =
   let stack =
-    Scenario.build ~seed:(Int64.add base_seed 4L) ~n:4 ~omega:Scenario.Omega_atomic
-      ~spec:Counter.spec
+    Scenario.build ~backend ~seed:(Int64.add base_seed 4L) ~n:4
+      ~omega:Scenario.Omega_atomic ~spec:Counter.spec
       ~next_op:(Workload.forever Counter.inc)
       ~client_pids:[ 0; 1; 2; 3 ] ()
   in
   Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps;
   Runtime.stop stack.Scenario.rt
+
+let full_tbwf_ops steps () = full_tbwf ~backend:Backend.Reference steps ()
+let full_tbwf_ops_compiled steps () = full_tbwf ~backend:Backend.Compiled steps ()
 
 (* Same workload as [full_tbwf_ops] but with a telemetry collector
    attached: the difference between the two rows is the cost of live
@@ -104,6 +111,7 @@ let layers =
     "abortable register (always-abort)", abortable_register_ops;
     "query-abortable object", qa_object_ops;
     "full TBWF op (election + QA)", full_tbwf_ops;
+    "full TBWF op (compiled backend)", full_tbwf_ops_compiled;
     "full TBWF op + live telemetry", full_tbwf_ops_telemetry;
   ]
 

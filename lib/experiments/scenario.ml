@@ -23,7 +23,15 @@ type stack = {
 
 (* All wiring lives in the System layer; a scenario is a System stack
    narrowed to the boosted systems (so [tbwf] is total). *)
-let build ?(seed = 0xC0FFEEL) ?(canonical = true) ?(qa_universal = false)
+
+(* The experiment registry's entries don't take a backend parameter, so
+   the experiments CLI selects one globally instead. Per-call [?backend]
+   still wins when given. *)
+let default_backend = ref Backend.Reference
+let set_default_backend b = default_backend := b
+
+let build ?backend ?(seed = 0xC0FFEEL)
+    ?(canonical = true) ?(qa_universal = false)
     ?(qa_policy = Abort_policy.Always) ~n ~omega ~spec ~next_op ~client_pids
     () =
   let id, mesh_policy =
@@ -35,9 +43,10 @@ let build ?(seed = 0xC0FFEEL) ?(canonical = true) ?(qa_universal = false)
         policy )
     | Omega_naive -> Tbwf_system.System.Naive_booster, Abort_policy.Always
   in
+  let backend = Option.value backend ~default:!default_backend in
   let s =
-    Tbwf_system.System.build ~seed ~canonical ~qa_universal ~qa_policy
-      ~mesh_policy ~spec ~next_op ~client_pids ~n id
+    Tbwf_system.System.build ~backend ~seed ~canonical ~qa_universal
+      ~qa_policy ~mesh_policy ~spec ~next_op ~client_pids ~n id
   in
   {
     rt = s.Tbwf_system.System.rt;

@@ -96,28 +96,32 @@ let monitoring_loop ~adapt ~increment_guards rt t =
     done
   done
 
-let install ?(adapt = succ) ?(increment_guards = true) rt ~p ~q =
+let make rt ~p ~q =
   if p = q then invalid_arg "Activity_monitor.install: p = q";
   let hb_register =
     Atomic_reg.create rt
       ~name:(Fmt.str "Hb[%d->%d]" q p)
       ~codec:Codec.int ~init:(-1)
   in
-  let t =
-    {
-      p;
-      q;
-      monitoring = ref false;
-      active_for = ref false;
-      status = ref Unknown;
-      fault_cntr = ref 0;
-      hb_register;
-    }
-  in
-  Runtime.spawn ~layer:Sink.Monitor rt ~pid:q
-    ~name:(Fmt.str "amon-hb[%d->%d]" q p) (fun () -> monitored_loop t);
-  Runtime.spawn ~layer:Sink.Monitor rt ~pid:p
-    ~name:(Fmt.str "amon-watch[%d<-%d]" p q) (fun () ->
+  {
+    p;
+    q;
+    monitoring = ref false;
+    active_for = ref false;
+    status = ref Unknown;
+    fault_cntr = ref 0;
+    hb_register;
+  }
+
+let task_names t =
+  Fmt.str "amon-hb[%d->%d]" t.q t.p, Fmt.str "amon-watch[%d<-%d]" t.p t.q
+
+let install ?(adapt = succ) ?(increment_guards = true) rt ~p ~q =
+  let t = make rt ~p ~q in
+  let hb_name, watch_name = task_names t in
+  Runtime.spawn ~layer:Sink.Monitor rt ~pid:q ~name:hb_name (fun () ->
+      monitored_loop t);
+  Runtime.spawn ~layer:Sink.Monitor rt ~pid:p ~name:watch_name (fun () ->
       monitoring_loop ~adapt ~increment_guards rt t);
   t
 

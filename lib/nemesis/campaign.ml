@@ -39,7 +39,7 @@ let default_seed = 0x4E454D45L (* "NEME" *)
    [Tbwf_check.Degradation.tail_rate_denominator] doc comment. *)
 let required_tail_ops = Degradation.required_tail_ops
 
-let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
+let run_plan ?backend ?(seed = default_seed) ?min_ops ~plan ~system () =
   let n = Fault_plan.n plan in
   let horizon = Fault_plan.horizon plan in
   (* The plan's channel-level atoms compile into the abort policies of the
@@ -54,7 +54,8 @@ let run_plan ?(seed = default_seed) ?min_ops ~plan ~system () =
       ~base:Abort_policy.Always
   in
   let stack =
-    System.build ~seed ~qa_policy ~mesh_policy ~telemetry:true ~n system
+    System.build ?backend ~seed ~qa_policy ~mesh_policy ~telemetry:true ~n
+      system
   in
   let rt = stack.System.rt in
   let telemetry = Option.get stack.System.telemetry in
@@ -293,13 +294,15 @@ let map_cells ?pool f cells =
     Tbwf_parallel.Pool.map pool (Array.of_list cells) f |> Array.to_list
   | _ -> List.map f cells
 
-let run ?(quick = true) ?seed ?pool ?(systems = all_systems) campaign =
+let run ?backend ?(quick = true) ?seed ?pool ?(systems = all_systems)
+    campaign =
   let n, horizon = dimensions ~quick in
   let plan = campaign.c_plan ~n ~horizon in
   let rows =
     map_cells ?pool
       (fun system ->
-        row_of_result campaign system (run_plan ?seed ~plan ~system ()))
+        row_of_result campaign system
+          (run_plan ?backend ?seed ~plan ~system ()))
       systems
   in
   {
@@ -317,7 +320,8 @@ type matrix = {
   m_telemetry : Tbwf_telemetry.Collector.t;
 }
 
-let run_matrix ?pool ?(quick = true) ?seed ?(systems = all_systems) () =
+let run_matrix ?backend ?pool ?(quick = true) ?seed
+    ?(systems = all_systems) () =
   let n, horizon = dimensions ~quick in
   if systems = [] then invalid_arg "Campaign.run_matrix: no systems";
   (* One task per (campaign, system) cell, campaign-major — finer-grained
@@ -334,7 +338,7 @@ let run_matrix ?pool ?(quick = true) ?seed ?(systems = all_systems) () =
   in
   let results =
     map_cells ?pool
-      (fun (_, plan, system) -> run_plan ?seed ~plan ~system ())
+      (fun (_, plan, system) -> run_plan ?backend ?seed ~plan ~system ())
       cells
   in
   let rows =

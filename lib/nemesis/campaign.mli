@@ -58,6 +58,7 @@ val required_tail_ops : n:int -> tail:int -> int
     {!Tbwf_check.Degradation.tail_rate_denominator} doc comment. *)
 
 val run_plan :
+  ?backend:Tbwf_sim.Backend.t ->
   ?seed:int64 ->
   ?min_ops:int ->
   plan:Fault_plan.t ->
@@ -68,7 +69,9 @@ val run_plan :
     one counter client per process, install the plan's crashes, run under
     the plan's policy to the horizon, and check degradation over the tail
     (the last quarter of the horizon, or from the plan's settle step if
-    that is later). *)
+    that is later). [backend] selects the execution backend for the
+    stack (default reference); verdicts and telemetry are identical
+    either way. *)
 
 (** {2 The campaign catalogue} *)
 
@@ -110,6 +113,7 @@ type outcome = {
 }
 
 val run :
+  ?backend:Tbwf_sim.Backend.t ->
   ?quick:bool ->
   ?seed:int64 ->
   ?pool:Tbwf_parallel.Pool.t ->
@@ -133,6 +137,7 @@ type matrix = {
 }
 
 val run_matrix :
+  ?backend:Tbwf_sim.Backend.t ->
   ?pool:Tbwf_parallel.Pool.t ->
   ?quick:bool ->
   ?seed:int64 ->

@@ -1,6 +1,11 @@
+type view =
+  | Direct of Tbwf_sim.Shared.t
+  | Universal of Tbwf_sim.Shared.t
+
 type t = {
   name : string;
   invoke : Tbwf_sim.Value.t -> Tbwf_sim.Value.t;
   query : unit -> Tbwf_sim.Value.t;
   peek_state : unit -> Tbwf_sim.Value.t;
+  view : view;
 }

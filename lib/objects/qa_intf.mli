@@ -14,6 +14,19 @@
     own steps — aborting instead of blocking is exactly what makes the
     universal construction of Figure 7 live. *)
 
+type view =
+  | Direct of Tbwf_sim.Shared.t
+      (** a {!Qa_object}: [invoke]/[query] are single operations on this
+          object ([Pair (Str "apply", op)] / [Pair (Str "query", Unit)]) *)
+  | Universal of Tbwf_sim.Shared.t
+      (** a {!Qa_universal} over this RMW cell: [invoke] is one
+          [Pair (Str "rmw", Pair (op_id, op))] with client-side op-id
+          bookkeeping, [query] is one read with a client-side fate lookup *)
+
+(** How the compiled backend ([Tbwf_compiled]) drives this QA object:
+    which underlying object to call and what client-side bookkeeping the
+    closures perform around the call. *)
+
 type t = {
   name : string;
   invoke : Tbwf_sim.Value.t -> Tbwf_sim.Value.t;
@@ -24,4 +37,6 @@ type t = {
           [Fail], or [Abort]. Must be called from inside a task. *)
   peek_state : unit -> Tbwf_sim.Value.t;
       (** zero-step inspection of the current sequential state, for tests *)
+  view : view;
+      (** backend view: what [invoke]/[query] compile to (see {!view}) *)
 }

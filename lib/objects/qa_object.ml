@@ -44,4 +44,5 @@ let create rt ~name ~spec ~policy
     invoke = (fun op -> Runtime.call obj (Value.Pair (Str "apply", op)));
     query = (fun () -> Runtime.call obj (Value.Pair (Str "query", Unit)));
     peek_state = (fun () -> !state);
+    view = Qa_intf.Direct obj;
   }

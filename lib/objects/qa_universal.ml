@@ -69,4 +69,4 @@ let create rt ~name ~spec ~policy
     | Value.Pair (seq_state, _) -> seq_state
     | v -> invalid_arg (Value.to_string v)
   in
-  { Qa_intf.name; invoke; query; peek_state }
+  { Qa_intf.name; invoke; query; peek_state; view = Universal (Rmw_cell.shared cell) }

@@ -33,3 +33,4 @@ let create rt ~name ~init ~transition ~policy
 let rmw t op = Runtime.call t.obj (Value.Pair (Str "rmw", op))
 let read t = Runtime.call t.obj Value.read_op
 let peek t = !(t.state)
+let shared t = t.obj

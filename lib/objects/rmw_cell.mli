@@ -32,3 +32,6 @@ val read : t -> Tbwf_sim.Value.t
 (** Return the current state, or [Abort]. *)
 
 val peek : t -> Tbwf_sim.Value.t
+
+val shared : t -> Tbwf_sim.Shared.t
+(** The underlying simulated object, for the compiled backend. *)

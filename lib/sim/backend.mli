@@ -1,0 +1,27 @@
+(** Execution backend selection.
+
+    The simulator has two ways to execute a system's processes:
+
+    - {!Reference}: the effects-based runtime — task bodies are ordinary
+      OCaml code suspended with effect handlers at every step boundary.
+      This is the executable semantics: slow, direct, obviously faithful
+      to the paper's pseudo-code.
+    - {!Compiled}: the same processes compiled into flat step tables — a
+      direct-threaded interpreter over dense int-indexed program counters
+      and registers (see [Tbwf_compiled]), eliminating effects-handler
+      dispatch and per-step closure allocation from the hot path.
+
+    The two backends are required to be observationally byte-identical:
+    same {!Trace.fingerprint}, same telemetry snapshots, for every
+    (system, seed, policy, fault plan). [Tbwf_check.Differential] and
+    [test/test_differential.ml] enforce the contract. *)
+
+type t = Reference | Compiled
+
+val all : t list
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Total inverse of {!to_string}; [Error] lists the known names. *)
+
+val pp : Format.formatter -> t -> unit

@@ -12,10 +12,22 @@ type pending = {
       (* object event-counter value just after this op's invocation *)
 }
 
+type machine_action = M_yield | M_call of Shared.t * Value.t | M_halt
+
+(* A machine is a compiled task body: an effect-free step function that,
+   given the result of its last call ([Value.Unit] on resume-from-yield
+   and at the first step), runs to its next suspension point and says
+   how it suspended. One invocation of the function = one step, exactly
+   mirroring the effects-based contract that a task runs from suspension
+   to next effect. *)
+type machine = Value.t -> machine_action
+
 type task_state =
   | Ready of (unit -> unit)
   | Suspended_local of (unit, unit) Effect.Deep.continuation
   | Suspended_call of (Value.t, unit) Effect.Deep.continuation * pending
+  | Machine_ready of machine
+  | Machine_awaiting of machine * pending
   | Running
   | Finished
 
@@ -53,7 +65,6 @@ type t = {
   mutable events_by_obj : int array;
       (* obj id -> number of invocation/response events so far *)
   mutable crashes : (int * int) list;  (* (step, pid), unsorted *)
-  mutable current : (int * task) option;  (* set while a task runs *)
   mutable sink : Sink.t;  (* telemetry sink; Sink.nil = disabled *)
   (* Cached runnable-pid set, recomputed only when membership can have
      changed (spawn, a proc's last task finishing, a crash). The cache is
@@ -96,7 +107,6 @@ let create ?(seed = 0xC0FFEEL) ~n () =
     pending_by_obj = Array.make 16 [];
     events_by_obj = Array.make 16 0;
     crashes = [];
-    current = None;
     sink = Sink.nil;
     runnable_cache = [||];
     runnable_dirty = true;
@@ -138,10 +148,10 @@ let register_object t ~name ~respond =
   ensure_obj t id;
   Shared.make ~id ~name ~respond
 
-let spawn ?(layer = Sink.Other) t ~pid ~name body =
+let push_task t ~pid ~name ~layer state =
   if pid < 0 || pid >= t.num then invalid_arg "Runtime.spawn: bad pid";
   let proc = t.procs.(pid) in
-  let task = { t_name = name; t_pid = pid; t_layer = layer; t_state = Ready body } in
+  let task = { t_name = name; t_pid = pid; t_layer = layer; t_state = state } in
   let cap = Array.length proc.tasks in
   if proc.n_tasks = cap then begin
     let grown = Array.make (max 4 (2 * cap)) task in
@@ -152,6 +162,12 @@ let spawn ?(layer = Sink.Other) t ~pid ~name body =
   proc.n_tasks <- proc.n_tasks + 1;
   proc.live <- proc.live + 1;
   t.runnable_dirty <- true
+
+let spawn ?(layer = Sink.Other) t ~pid ~name body =
+  push_task t ~pid ~name ~layer (Ready body)
+
+let spawn_machine ?(layer = Sink.Other) t ~pid ~name fn =
+  push_task t ~pid ~name ~layer (Machine_ready fn)
 
 let crash_at t ~pid ~step = t.crashes <- (step, pid) :: t.crashes
 
@@ -173,7 +189,8 @@ let await cond =
 let finish_task t task =
   match task.t_state with
   | Finished -> ()
-  | Ready _ | Suspended_local _ | Suspended_call _ | Running ->
+  | Ready _ | Suspended_local _ | Suspended_call _ | Machine_ready _
+  | Machine_awaiting _ | Running ->
     task.t_state <- Finished;
     let proc = t.procs.(task.t_pid) in
     proc.live <- proc.live - 1;
@@ -202,11 +219,15 @@ let add_pending t pend =
 
 let remove_pending t pend =
   let obj_id = pend.p_obj.Shared.id in
-  let remaining =
-    List.filter (fun other -> other != pend) t.pending_by_obj.(obj_id)
-  in
-  t.pending_by_obj.(obj_id) <- remaining;
-  List.length remaining
+  match t.pending_by_obj.(obj_id) with
+  | [ only ] when only == pend ->
+    (* the overwhelmingly common case: the op was alone on its object *)
+    t.pending_by_obj.(obj_id) <- [];
+    0
+  | existing ->
+    let remaining = List.filter (fun other -> other != pend) existing in
+    t.pending_by_obj.(obj_id) <- remaining;
+    List.length remaining
 
 let respond_pending t pend =
   let remaining = remove_pending t pend in
@@ -227,20 +248,41 @@ let respond_pending t pend =
     }
   in
   let result = pend.p_obj.Shared.respond ctx in
-  Trace.record_op t.trace
-    {
-      Trace.step = t.step;
-      pid = pend.p_pid;
-      obj_id = pend.p_obj.Shared.id;
-      obj_name = pend.p_obj.Shared.name;
-      op = pend.p_op;
-      phase = `Respond result;
-    };
+  Trace.record_respond t.trace ~step:t.step ~pid:pend.p_pid
+    ~obj_id:pend.p_obj.Shared.id ~obj_name:pend.p_obj.Shared.name
+    ~op:pend.p_op ~result;
   if t.sink.Sink.active then
     t.sink.Sink.on_respond ~step:t.step ~pid:pend.p_pid ~layer:pend.p_layer
       ~obj_id:pend.p_obj.Shared.id ~obj_name:pend.p_obj.Shared.name
       ~op:pend.p_op ~result;
   result
+
+(* Invocation-side bookkeeping, shared by the effects handler's [Call]
+   case and the machine interpreter's [M_call]: both backends must record
+   the invocation identically for traces and telemetry to stay
+   byte-identical. *)
+let begin_call t task obj op =
+  ensure_obj t obj.Shared.id;
+  bump_events t obj.Shared.id;
+  let pend =
+    {
+      p_pid = task.t_pid;
+      p_obj = obj;
+      p_op = op;
+      p_invoke_step = t.step;
+      p_layer = task.t_layer;
+      p_overlapped = false;
+      p_overlap_ops = [];
+      p_events_at_invoke = events_of t obj.Shared.id;
+    }
+  in
+  add_pending t pend;
+  Trace.record_invoke t.trace ~step:t.step ~pid:task.t_pid
+    ~obj_id:obj.Shared.id ~obj_name:obj.Shared.name ~op;
+  if t.sink.Sink.active then
+    t.sink.Sink.on_invoke ~step:t.step ~pid:task.t_pid ~layer:task.t_layer
+      ~obj_id:obj.Shared.id ~obj_name:obj.Shared.name ~op;
+  pend
 
 (* --- task execution ----------------------------------------------------- *)
 
@@ -267,34 +309,7 @@ let handler t task =
         | Call (obj, op) ->
           Some
             (fun (k : (a, unit) continuation) ->
-              ensure_obj t obj.Shared.id;
-              bump_events t obj.Shared.id;
-              let pend =
-                {
-                  p_pid = task.t_pid;
-                  p_obj = obj;
-                  p_op = op;
-                  p_invoke_step = t.step;
-                  p_layer = task.t_layer;
-                  p_overlapped = false;
-                  p_overlap_ops = [];
-                  p_events_at_invoke = events_of t obj.Shared.id;
-                }
-              in
-              add_pending t pend;
-              Trace.record_op t.trace
-                {
-                  Trace.step = t.step;
-                  pid = task.t_pid;
-                  obj_id = obj.Shared.id;
-                  obj_name = obj.Shared.name;
-                  op;
-                  phase = `Invoke;
-                };
-              if t.sink.Sink.active then
-                t.sink.Sink.on_invoke ~step:t.step ~pid:task.t_pid
-                  ~layer:task.t_layer ~obj_id:obj.Shared.id
-                  ~obj_name:obj.Shared.name ~op;
+              let pend = begin_call t task obj op in
               task.t_state <- Suspended_call (k, pend))
         | Self -> Some (fun (k : (a, unit) continuation) -> continue k task.t_pid)
         | _ -> None);
@@ -302,7 +317,9 @@ let handler t task =
 
 let runnable_task task =
   match task.t_state with
-  | Ready _ | Suspended_local _ | Suspended_call _ -> true
+  | Ready _ | Suspended_local _ | Suspended_call _ | Machine_ready _
+  | Machine_awaiting _ ->
+    true
   | Running | Finished -> false
 
 let proc_runnable proc = (not proc.is_crashed) && proc.live > 0
@@ -324,6 +341,17 @@ let pick_task proc =
   in
   search 0 proc.next_task
 
+(* Run one step of a machine: feed it the value it was waiting on and
+   reinstate the state its action implies. The machine function itself
+   executes synchronously — no continuation is captured. *)
+let run_machine t task fn v =
+  match fn v with
+  | M_yield -> task.t_state <- Machine_ready fn
+  | M_call (obj, op) ->
+    let pend = begin_call t task obj op in
+    task.t_state <- Machine_awaiting (fn, pend)
+  | M_halt -> finish_task t task
+
 let exec_task_step t task =
   match task.t_state with
   | Ready body ->
@@ -336,6 +364,13 @@ let exec_task_step t task =
     let result = respond_pending t pend in
     task.t_state <- Running;
     Effect.Deep.continue k result
+  | Machine_ready fn ->
+    task.t_state <- Running;
+    run_machine t task fn Value.Unit
+  | Machine_awaiting (fn, pend) ->
+    let result = respond_pending t pend in
+    task.t_state <- Running;
+    run_machine t task fn result
   | Running | Finished -> assert false
 
 let crash_proc t proc =
@@ -354,7 +389,10 @@ let crash_proc t proc =
     | Suspended_local k ->
       finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
-    | Ready _ -> finish_task t task
+    | Machine_awaiting (_, pend) ->
+      let (_ : Value.t) = respond_pending t pend in
+      finish_task t task
+    | Ready _ | Machine_ready _ -> finish_task t task
     | Running | Finished -> ()
   in
   for i = 0 to proc.n_tasks - 1 do
@@ -400,9 +438,7 @@ let run_task_step t ~pid task =
   Trace.record_step t.trace ~pid;
   if t.sink.Sink.active then
     t.sink.Sink.on_step ~step:t.step ~pid ~layer:task.t_layer;
-  t.current <- Some (pid, task);
-  exec_task_step t task;
-  t.current <- None
+  exec_task_step t task
 
 let step t ~pid =
   apply_due_crashes t;
@@ -455,7 +491,10 @@ let stop t =
       let (_ : int) = remove_pending t pend in
       finish_task t task;
       (try Effect.Deep.discontinue k Simulation_over with Simulation_over -> ())
-    | Ready _ -> finish_task t task
+    | Machine_awaiting (_, pend) ->
+      let (_ : int) = remove_pending t pend in
+      finish_task t task
+    | Ready _ | Machine_ready _ -> finish_task t task
     | Running | Finished -> ()
   in
   Array.iter

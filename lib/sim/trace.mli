@@ -25,6 +25,19 @@ val record_step : t -> pid:int -> unit
 
 val record_op : t -> op_event -> unit
 
+val record_invoke :
+  t -> step:int -> pid:int -> obj_id:int -> obj_name:string -> op:Value.t ->
+  unit
+(** Hot-path form of {!record_op} for an [`Invoke] event: no [op_event]
+    record is allocated. The runtime's call bookkeeping uses these. *)
+
+val record_respond :
+  t ->
+  step:int -> pid:int -> obj_id:int -> obj_name:string -> op:Value.t ->
+  result:Value.t ->
+  unit
+(** Hot-path form of {!record_op} for a [`Respond result] event. *)
+
 val length : t -> int
 (** Number of steps recorded so far. *)
 

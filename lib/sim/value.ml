@@ -35,7 +35,26 @@ let rec pp fmt = function
 let to_string v = Fmt.str "%a" pp v
 
 let read_op = Pair (Str "read", Unit)
-let write_op v = Pair (Str "write", v)
+
+(* Write operations over small non-negative ints — heartbeat and punish
+   counters, overwhelmingly the most common ops in a TBWF run — are
+   hash-consed so the trace (which retains every op for the whole run)
+   holds pointers into this table instead of a fresh block per write. The
+   values are immutable, so sharing is unobservable except to the GC. *)
+let write_str = Str "write"
+let write_int_cache : t array = Array.make 65536 Unit
+
+let write_op v =
+  match v with
+  | Int i when i >= 0 && i < Array.length write_int_cache ->
+    let cached = write_int_cache.(i) in
+    if cached != Unit then cached
+    else begin
+      let fresh = Pair (write_str, v) in
+      write_int_cache.(i) <- fresh;
+      fresh
+    end
+  | v -> Pair (write_str, v)
 
 let is_write = function Pair (Str "write", _) -> true | _ -> false
 let is_read = function Pair (Str "read", _) -> true | _ -> false

@@ -112,6 +112,7 @@ let create_qa ?(universal = false) rt ~name ~spec ~policy ?effect_on_abort () =
 
 type stack = {
   system : id;
+  backend : Backend.t;
   rt : Runtime.t;
   handles : Omega_spec.handle array;
   qa : Qa_intf.t;
@@ -125,10 +126,11 @@ let default_qa_universal = function
   | Tbwf_universal -> true
   | Tbwf_atomic | Tbwf_abortable | Naive_booster | Retry -> false
 
-let build ?seed ?(canonical = true) ?(qa_policy = Abort_policy.Always)
-    ?(mesh_policy = Abort_policy.Always) ?qa_universal
-    ?(spec = Counter.spec) ?(next_op = Workload.forever Counter.inc)
-    ?client_pids ?(telemetry = false) ?telemetry_window ~n id =
+let build ?(backend = Backend.Reference) ?seed ?(canonical = true)
+    ?(qa_policy = Abort_policy.Always) ?(mesh_policy = Abort_policy.Always)
+    ?qa_universal ?(spec = Counter.spec)
+    ?(next_op = Workload.forever Counter.inc) ?client_pids
+    ?(telemetry = false) ?telemetry_window ~n id =
   let rt = Runtime.create ?seed ~n () in
   (* The collector only installs a sink; attaching before the stack is
      wired records nothing and keeps the trace identical, while covering
@@ -138,13 +140,29 @@ let build ?seed ?(canonical = true) ?(qa_policy = Abort_policy.Always)
       Some (Tbwf_telemetry.Collector.attach ?window:telemetry_window rt)
     else None
   in
+  (* Both backends create objects and spawn tasks at the same wiring
+     points, in the same order — what differs is only whether the spawned
+     task bodies are effect coroutines or compiled machines. That shared
+     order is what makes the two backends assign identical object ids and
+     produce byte-identical traces. *)
   let handles =
-    match id with
-    | Tbwf_atomic -> (install_atomic rt).Omega_registers.handles
-    | Tbwf_abortable | Tbwf_universal ->
+    match backend, id with
+    | Backend.Reference, Tbwf_atomic ->
+      (install_atomic rt).Omega_registers.handles
+    | Backend.Compiled, Tbwf_atomic ->
+      (Tbwf_compiled.Omega_atomic_compiled.install rt)
+        .Omega_registers.handles
+    | Backend.Reference, (Tbwf_abortable | Tbwf_universal) ->
       (install_abortable rt ~policy:mesh_policy ()).Omega_abortable.handles
-    | Naive_booster -> (install_naive rt).Baselines.Naive_booster.handles
-    | Retry -> [||]
+    | Backend.Compiled, (Tbwf_abortable | Tbwf_universal) ->
+      (Tbwf_compiled.Omega_abortable_compiled.install rt ~policy:mesh_policy
+         ())
+        .Omega_abortable.handles
+    | Backend.Reference, Naive_booster ->
+      (install_naive rt).Baselines.Naive_booster.handles
+    | Backend.Compiled, Naive_booster ->
+      (Tbwf_compiled.Naive_compiled.install rt).Baselines.Naive_booster.handles
+    | _, Retry -> [||]
   in
   let qa =
     let universal =
@@ -167,5 +185,26 @@ let build ?seed ?(canonical = true) ?(qa_policy = Abort_policy.Always)
   let client_pids =
     match client_pids with Some pids -> pids | None -> List.init n Fun.id
   in
-  Workload.spawn_clients rt ~pids:client_pids ~stats ~invoke ~next_op;
-  { system = id; rt; handles; qa; tbwf; invoke; stats; telemetry = collector }
+  (match backend with
+  | Backend.Reference ->
+    Workload.spawn_clients rt ~pids:client_pids ~stats ~invoke ~next_op
+  | Backend.Compiled -> (
+    let cqa = Tbwf_compiled.Qa_call.of_qa ~n qa in
+    match id with
+    | Tbwf_atomic | Tbwf_abortable | Tbwf_universal | Naive_booster ->
+      Tbwf_compiled.Client_machine.spawn_boosted_clients rt ~pids:client_pids
+        ~handles ~canonical ~qa:cqa ~stats ~next_op
+    | Retry ->
+      Tbwf_compiled.Client_machine.spawn_retry_clients rt ~pids:client_pids
+        ~qa:cqa ~stats ~next_op));
+  {
+    system = id;
+    backend;
+    rt;
+    handles;
+    qa;
+    tbwf;
+    invoke;
+    stats;
+    telemetry = collector;
+  }

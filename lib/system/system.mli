@@ -99,6 +99,9 @@ val create_qa :
 
 type stack = {
   system : id;
+  backend : Backend.t;
+      (** which backend executes the stack's tasks; identical observable
+          behaviour either way (see {!Backend}) *)
   rt : Runtime.t;
   handles : Omega_spec.handle array;
       (** Ω∆ output handles, indexed by pid; [[||]] for {!Retry} *)
@@ -112,6 +115,7 @@ type stack = {
 }
 
 val build :
+  ?backend:Backend.t ->
   ?seed:int64 ->
   ?canonical:bool ->
   ?qa_policy:Abort_policy.t ->
@@ -139,4 +143,10 @@ val build :
 
     Wiring order (runtime, collector, Ω∆, QA, transformation, workload) is
     part of the determinism contract: it fixes the object-id assignment
-    and hence the trace fingerprint for a given (seed, policy, code). *)
+    and hence the trace fingerprint for a given (seed, policy, code).
+
+    [backend] (default {!Backend.Reference}) selects how the stack's tasks
+    execute: effect coroutines, or the compiled machines of
+    [Tbwf_compiled]. Both wire objects and tasks in the same order and are
+    observationally byte-identical — same trace fingerprints, same
+    telemetry snapshots — as enforced by [Tbwf_check.Differential]. *)

@@ -1,0 +1,200 @@
+(* Differential verification: the compiled backend must be byte-identical
+   to the reference effects runtime — same trace fingerprint, same
+   telemetry snapshot — for every (system, policy, seed, fault
+   configuration). These tests sweep the goldens matrix, fuzzed replay
+   schedules, nemesis fault plans, and a qcheck-random configuration
+   space including mid-run crashes. *)
+
+open Tbwf_sim
+module System = Tbwf_system.System
+module Differential = Tbwf_check.Differential
+module Scenario = Tbwf_experiments.Scenario
+module Fault_plan = Tbwf_nemesis.Fault_plan
+module Campaign = Tbwf_nemesis.Campaign
+
+let n = 3
+let steps = 4_000
+let seed = 0x53595354L (* the goldens matrix seed *)
+
+let agree msg verdict =
+  match verdict with
+  | Differential.Agree -> ()
+  | Differential.Diverge _ as d ->
+    Alcotest.failf "%s: %a" msg Differential.pp_verdict d
+
+(* The goldens matrix: every registered system under both representative
+   schedules, telemetry attached, so snapshot equality is checked too. *)
+let test_goldens_matrix () =
+  let policies =
+    [
+      "round-robin", (fun () -> Policy.round_robin ());
+      "degraded", (fun () -> Scenario.degraded_policy ~n ~timely:[ 1; 2 ] ());
+    ]
+  in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (pname, policy) ->
+          agree
+            (Fmt.str "%s / %s" (System.to_string id) pname)
+            (Differential.check ~seed ~telemetry:true ~policy ~steps ~n id))
+        policies)
+    System.all
+
+(* Reference-backend fingerprints of the goldens matrix must still match
+   the committed golden digests: the differential tests prove the
+   backends agree with each other, this one proves they agree with
+   history. *)
+let test_goldens_pinned () =
+  let path =
+    (* dune runtest runs with cwd = _build/default/test; dune exec from
+       the repo root does not. *)
+    match
+      List.find_opt Sys.file_exists
+        [
+          "golden/system_fingerprints.txt";
+          "test/golden/system_fingerprints.txt";
+        ]
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "golden/system_fingerprints.txt not found"
+  in
+  let golden = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line golden :: !lines
+     done
+   with End_of_file -> close_in golden);
+  let expected = List.rev !lines in
+  let policies =
+    [
+      "round-robin", (fun () -> Policy.round_robin ());
+      "degraded", (fun () -> Scenario.degraded_policy ~n ~timely:[ 1; 2 ] ());
+    ]
+  in
+  let actual =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun (pname, policy) ->
+            let obs =
+              Differential.observe ~backend:Backend.Compiled ~seed ~policy
+                ~steps ~n id
+            in
+            Fmt.str "%s %s %s" (System.to_string id) pname
+              (Digest.to_hex (Digest.string obs.Differential.fingerprint)))
+          policies)
+      System.all
+  in
+  Alcotest.(check (list string))
+    "compiled backend reproduces the committed goldens" expected actual
+
+(* Fuzzed schedules: random pid sequences (with idle steps mixed in)
+   replayed identically against both backends. *)
+let test_fuzzed_replay () =
+  let rng = Rng.create 0xD1FFL in
+  for round = 0 to 4 do
+    let sched =
+      List.init 2_000 (fun _ ->
+          if Rng.bool rng 0.1 then -1 else Rng.int rng n)
+    in
+    let system = Rng.pick rng (Array.of_list System.all) in
+    agree
+      (Fmt.str "fuzz round %d (%s)" round (System.to_string system))
+      (Differential.check ~seed:(Int64.of_int (round + 1)) ~telemetry:true
+         ~policy:(fun () -> Policy.replay sched)
+         ~steps:(List.length sched) ~n system)
+  done
+
+(* Nemesis fault plans: every campaign in the catalogue, compiled at
+   quick dimensions, against one paper system and one baseline. The
+   plan's crashes and abort policies flow through [configure] /
+   [qa_policy] / [mesh_policy] exactly as [Campaign.run_plan] wires
+   them. *)
+let test_fault_plans () =
+  List.iter
+    (fun campaign ->
+      let cn, horizon = Campaign.dimensions ~quick:true in
+      let plan = Campaign.plan campaign ~n:cn ~horizon in
+      let qa_policy =
+        Fault_plan.abort_policy plan ~target:Fault_plan.Qa
+          ~base:Tbwf_registers.Abort_policy.Always
+      in
+      let mesh_policy =
+        Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
+          ~base:Tbwf_registers.Abort_policy.Always
+      in
+      List.iter
+        (fun system ->
+          agree
+            (Fmt.str "campaign %s / %s" (Campaign.name campaign)
+               (System.to_string system))
+            (Differential.check ~seed:Campaign.default_seed ~telemetry:true
+               ~qa_policy ~mesh_policy
+               ~configure:(fun stack ->
+                 Fault_plan.install_crashes plan stack.System.rt)
+               ~policy:(fun () -> Fault_plan.policy plan)
+               ~steps:horizon ~n:cn system))
+        [ System.Tbwf_atomic; System.Naive_booster ])
+    Campaign.catalogue
+
+(* qcheck: arbitrary (system, policy shape, seed, step budget, mid-run
+   crash) configurations agree byte for byte. Crashes are installed
+   before the run via Runtime.crash_at, which fires mid-run at the
+   drawn step. *)
+let qcheck_backends_agree =
+  let gen =
+    QCheck.Gen.(
+      let* sys_ix = int_bound (List.length System.all - 1) in
+      let* pol = int_bound 2 in
+      let* seed = map Int64.of_int (int_bound 10_000) in
+      let* steps = map (fun k -> 500 + k) (int_bound 2_500) in
+      let* crash_pid = int_bound (n - 1) in
+      let* crash_step = int_bound (max 1 (steps - 1)) in
+      let* crash = bool in
+      return (sys_ix, pol, seed, steps, (crash, crash_pid, crash_step)))
+  in
+  let print (sys_ix, pol, seed, steps, (crash, cp, cs)) =
+    Fmt.str "(%s, policy %d, seed %Ld, steps %d, crash %b pid %d @ %d)"
+      (System.to_string (List.nth System.all sys_ix))
+      pol seed steps crash cp cs
+  in
+  QCheck.Test.make ~count:25 ~name:"backends agree on arbitrary configs"
+    (QCheck.make ~print gen)
+    (fun (sys_ix, pol, seed, steps, (crash, crash_pid, crash_step)) ->
+      let system = List.nth System.all sys_ix in
+      let policy () =
+        match pol with
+        | 0 -> Policy.round_robin ()
+        | 1 -> Scenario.degraded_policy ~n ~timely:[ 1 ] ()
+        | _ -> Policy.weighted [| 0, 1.0; 1, 3.0; 2, 0.5 |]
+      in
+      let configure stack =
+        if crash then
+          Runtime.crash_at stack.System.rt ~pid:crash_pid ~step:crash_step
+      in
+      match
+        Differential.check ~seed ~telemetry:true ~configure ~policy ~steps
+          ~n system
+      with
+      | Differential.Agree -> true
+      | Differential.Diverge _ as d ->
+        QCheck.Test.fail_reportf "%a" Differential.pp_verdict d)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "backends",
+        [
+          Alcotest.test_case "goldens matrix agrees" `Quick
+            test_goldens_matrix;
+          Alcotest.test_case "compiled reproduces committed goldens" `Quick
+            test_goldens_pinned;
+          Alcotest.test_case "fuzzed replay schedules agree" `Quick
+            test_fuzzed_replay;
+          Alcotest.test_case "nemesis fault plans agree" `Slow
+            test_fault_plans;
+          QCheck_alcotest.to_alcotest qcheck_backends_agree;
+        ] );
+    ]

@@ -149,7 +149,26 @@ let test_fuzz_clean_scenario_finds_nothing () =
   let f = Explore_scenarios.fuzz ~seed:42L ~runs:300 (find "atomic2") in
   Alcotest.check check_option_schedule "no counterexample on atomic2" None
     f.Explore.counterexample;
-  Alcotest.(check int) "all runs executed" 300 f.Explore.fuzz_runs
+  Alcotest.(check int) "all runs executed" 300 f.Explore.fuzz_runs;
+  (* budget exhausted without a witness: the partial outcome must name
+     the batch that was in flight and its derived stream seed, so the
+     search is resumable (same or other execution backend) *)
+  let last = (300 / Explore.fuzz_batch_runs) - 1 in
+  (match f.Explore.exhausted_batch with
+  | Some (k, task_seed) ->
+    Alcotest.(check int) "last batch recorded" last k;
+    Alcotest.(check int64)
+      "derived stream seed recorded"
+      (Tbwf_sim.Rng.task_seed ~master:42L last)
+      task_seed
+  | None -> Alcotest.fail "exhausted run must record the in-flight batch")
+
+let test_fuzz_witness_has_no_exhausted_batch () =
+  let f = Explore_scenarios.fuzz ~seed:0xF00DL ~runs:2_000 (find "mutex2") in
+  Alcotest.(check bool) "witness found" true (f.Explore.counterexample <> None);
+  Alcotest.(check bool)
+    "no exhausted batch on a witnessing run" true
+    (f.Explore.exhausted_batch = None)
 
 (* --- committed counterexample: the regression replay --------------------- *)
 
@@ -199,6 +218,8 @@ let () =
             test_fuzz_finds_and_shrinks_mutex;
           Alcotest.test_case "fuzz finds nothing on a clean scenario" `Quick
             test_fuzz_clean_scenario_finds_nothing;
+          Alcotest.test_case "witnessing fuzz has no exhausted batch" `Quick
+            test_fuzz_witness_has_no_exhausted_batch;
           Alcotest.test_case "committed counterexample replays" `Quick
             test_committed_counterexample_replays;
         ] );

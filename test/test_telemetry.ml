@@ -240,6 +240,39 @@ let qcheck_snapshot_replay_stable =
       Runtime.stop stack'.Scenario.rt;
       String.equal original replayed)
 
+(* --- merge tie-break ------------------------------------------------------ *)
+
+(* Collector.merge interleaves step-sorted event lists chronologically;
+   on EQUAL steps the first argument's events come first. That argument-
+   order tie-break (not domain completion order) is what makes pooled
+   matrix telemetry byte-identical at any job count — pin it directly. *)
+let test_merge_tie_break_order () =
+  let feed changes =
+    let c = Collector.create ~n:3 () in
+    let sink = Collector.sink c in
+    List.iter
+      (fun (step, leader) ->
+        sink.Sink.on_signal ~step ~pid:leader
+          (Sink.Leader_view { leader = Some leader }))
+      changes;
+    c
+  in
+  (* same steps in both collectors: every merge point is a tie *)
+  let a = feed [ 10, 0; 20, 1 ] in
+  let b = feed [ 10, 2; 20, 0 ] in
+  let leaders c =
+    List.map (fun e -> e.Collector.le_step, e.Collector.le_leader)
+      (Collector.handoffs c)
+  in
+  Alcotest.(check (list (pair int int)))
+    "a's events first on equal steps"
+    [ 10, 0; 10, 2; 20, 1; 20, 0 ]
+    (leaders (Collector.merge a b));
+  Alcotest.(check (list (pair int int)))
+    "argument order decides, not content"
+    [ 10, 2; 10, 0; 20, 0; 20, 1 ]
+    (leaders (Collector.merge b a))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -273,6 +306,8 @@ let () =
           Alcotest.test_case "sink lifecycle" `Quick test_sink_lifecycle;
           Alcotest.test_case "deterministic snapshot" `Quick
             test_snapshot_deterministic;
+          Alcotest.test_case "merge tie-break order" `Quick
+            test_merge_tie_break_order;
         ] );
       ( "replay",
         [ QCheck_alcotest.to_alcotest qcheck_snapshot_replay_stable ] );
