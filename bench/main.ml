@@ -280,6 +280,21 @@ let run_json () =
         ]
     | _ -> Json.Null
   in
+  (* Shared memory vs the ABD quorum emulation on the identical client
+     workload: the per-step cost ratio of making register timeliness
+     emergent rather than assumed. *)
+  let substrate_overhead =
+    match rate "full TBWF op (election + QA)",
+          rate "full TBWF op (message-passing substrate)" with
+    | Some shared, Some mp when mp > 0.0 ->
+      Json.Obj
+        [
+          "shared_memory_steps_per_sec", Json.Float shared;
+          "message_passing_steps_per_sec", Json.Float mp;
+          "step_cost_ratio", Json.Float (shared /. mp);
+        ]
+    | _ -> Json.Null
+  in
   (* Parallel fan-out: the same quick campaign matrix timed at one domain
      and at --jobs domains. The outputs are byte-identical by the pool's
      determinism contract; only the wall clock moves. *)
@@ -325,6 +340,7 @@ let run_json () =
         "throughput", Json.Arr (List.map row_json rows);
         "backend_speedup", backend_speedup;
         "telemetry_overhead", overhead;
+        "substrate_overhead", substrate_overhead;
         "parallel_fanout", parallel_fanout;
       ]
   in

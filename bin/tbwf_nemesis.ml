@@ -56,18 +56,41 @@ let with_backend name k =
     Fmt.epr "%s@." msg;
     2
 
-let run_campaign backend name full seed jobs =
+let with_substrate name k =
+  match name with
+  | "shared-memory" -> k Tbwf_system.System.Shared_memory
+  | "message-passing" ->
+    k (Tbwf_system.System.Message_passing Tbwf_net.Net.default_config)
+  | s ->
+    Fmt.epr "unknown substrate %S (known: shared-memory, message-passing)@." s;
+    2
+
+(* Both knobs exist on every subcommand, but the one combination with no
+   implementation — compiled machines have no quorum emulation — is
+   rejected up front with the same story System.build would tell. *)
+let with_backend_substrate backend substrate k =
   with_backend backend @@ fun backend ->
+  with_substrate substrate @@ fun substrate ->
+  match backend, substrate with
+  | Tbwf_sim.Backend.Compiled, Tbwf_system.System.Message_passing _ ->
+    Fmt.epr
+      "the compiled backend requires the shared-memory substrate (use \
+       --backend reference with --substrate message-passing)@.";
+    2
+  | _, _ -> k backend substrate
+
+let run_campaign backend substrate name full seed jobs =
+  with_backend_substrate backend substrate @@ fun backend substrate ->
   with_campaign name @@ fun c ->
   report_outcome
-    (Campaign.run ~backend ~quick:(not full) ~seed:(Int64.of_int seed)
-       ~pool:(pool_of jobs) c)
+    (Campaign.run ~backend ~substrate ~quick:(not full)
+       ~seed:(Int64.of_int seed) ~pool:(pool_of jobs) c)
 
-let matrix backend full seed jobs =
-  with_backend backend @@ fun backend ->
+let matrix backend substrate full seed jobs =
+  with_backend_substrate backend substrate @@ fun backend substrate ->
   let m =
-    Campaign.run_matrix ~backend ~pool:(pool_of jobs) ~quick:(not full)
-      ~seed:(Int64.of_int seed) ()
+    Campaign.run_matrix ~backend ~substrate ~pool:(pool_of jobs)
+      ~quick:(not full) ~seed:(Int64.of_int seed) ()
   in
   (* campaign × system grid of degradation verdicts *)
   Fmt.pf fmt "%-12s" "";
@@ -96,10 +119,11 @@ let matrix backend full seed jobs =
   Fmt.flush fmt ();
   if m.Campaign.m_ok then 0 else 1
 
-let fuzz seed runs horizon plan_out sched_out jobs =
+let fuzz substrate seed runs horizon plan_out sched_out jobs =
+  with_substrate substrate @@ fun substrate ->
   let outcome =
     Plan_fuzz.demo ~seed:(Int64.of_int seed) ~runs ~pool:(pool_of jobs)
-      ~horizon ()
+      ~substrate ~horizon ()
   in
   let open Tbwf_check.Explore in
   Fmt.pf fmt "runs          %d@." outcome.plan_runs;
@@ -122,8 +146,8 @@ let fuzz seed runs horizon plan_out sched_out jobs =
       Fmt.epr "serialized plan failed to parse: %s@." msg;
       2
     | Ok plan' ->
-      let held1, fp1 = Plan_fuzz.demo_replay plan pids in
-      let held2, fp2 = Plan_fuzz.demo_replay plan' pids in
+      let held1, fp1 = Plan_fuzz.demo_replay ~substrate plan pids in
+      let held2, fp2 = Plan_fuzz.demo_replay ~substrate plan' pids in
       Fmt.pf fmt "replay        invariant %s@."
         (if held1 then "held (UNEXPECTED)" else "violated (as found)");
       Fmt.pf fmt "round-trip    %s@."
@@ -137,14 +161,19 @@ let fuzz seed runs horizon plan_out sched_out jobs =
       | None -> ());
       (match sched_out with
       | Some path ->
-        let sched = Tbwf_sim.Schedule.make ~n:Plan_fuzz.demo_n pids in
+        let sched =
+          Tbwf_sim.Schedule.make
+            ~n:(Plan_fuzz.demo_pid_count ~substrate plan')
+            pids
+        in
         write_file path (Tbwf_sim.Schedule.to_string sched);
         Fmt.pf fmt "schedule written to %s@." path
       | None -> ());
       Fmt.flush fmt ();
       if (not held1) && (not held2) && String.equal fp1 fp2 then 0 else 1)
 
-let replay plan_file sched_file expect_violation =
+let replay substrate plan_file sched_file expect_violation =
+  with_substrate substrate @@ fun substrate ->
   match Fault_plan.of_string (read_file plan_file) with
   | Error msg ->
     Fmt.epr "bad plan file %s: %s@." plan_file msg;
@@ -162,7 +191,7 @@ let replay plan_file sched_file expect_violation =
       Fmt.epr "bad schedule file: %s@." msg;
       2
     | Ok pids ->
-      let held, _fp = Plan_fuzz.demo_replay plan pids in
+      let held, _fp = Plan_fuzz.demo_replay ~substrate plan pids in
       Fmt.pf fmt "plan          %d atoms, n=%d, horizon=%d@."
         (List.length (Fault_plan.atoms plan))
         (Fault_plan.n plan) (Fault_plan.horizon plan);
@@ -194,6 +223,13 @@ let backend_arg =
            ~doc:"Execution backend: reference or compiled. Verdicts, \
                  matrices and telemetry are byte-identical either way.")
 
+let substrate_arg =
+  Arg.(value & opt string "shared-memory"
+       & info [ "substrate" ] ~docv:"SUBSTRATE"
+           ~doc:"Register substrate: shared-memory, or message-passing \
+                 (ABD-style quorum emulation over the simulated network; \
+                 reference backend only).")
+
 let jobs_arg =
   Arg.(value & opt int (Tbwf_parallel.Pool.default_domains ())
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -218,15 +254,17 @@ let run_cmd =
        ~doc:"run one campaign against every system; exit 0 iff every \
              verdict matches the campaign's prediction")
     Term.(
-      const run_campaign $ backend_arg $ campaign_arg $ full_arg $ seed_arg
-      $ jobs_arg)
+      const run_campaign $ backend_arg $ substrate_arg $ campaign_arg
+      $ full_arg $ seed_arg $ jobs_arg)
 
 let matrix_cmd =
   Cmd.v
     (Cmd.info "matrix"
        ~doc:"run the whole catalogue and print the campaign × system \
              degradation matrix")
-    Term.(const matrix $ backend_arg $ full_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const matrix $ backend_arg $ substrate_arg $ full_arg $ seed_arg
+      $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -256,7 +294,9 @@ let fuzz_cmd =
        ~doc:"fuzz (schedule, fault-plan) pairs against the planted-bug \
              demo; shrinks both dimensions and checks the serialized plan \
              replays byte-identically")
-    Term.(const fuzz $ seed $ runs $ horizon $ plan_out $ sched_out $ jobs_arg)
+    Term.(
+      const fuzz $ substrate_arg $ seed $ runs $ horizon $ plan_out
+      $ sched_out $ jobs_arg)
 
 let replay_cmd =
   let plan_file =
@@ -277,7 +317,8 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"replay a serialized (plan, schedule) counterexample against \
              the demo scenario")
-    Term.(const replay $ plan_file $ sched_file $ expect_violation)
+    Term.(const replay $ substrate_arg $ plan_file $ sched_file
+          $ expect_violation)
 
 let cmd =
   let doc = "fault-injection campaigns with graceful-degradation verdicts" in

@@ -42,34 +42,44 @@ type run = {
   verdict : string option;  (* plan runs carry a degradation verdict *)
 }
 
-let run_scenario ~backend ~n ~k ~steps ~seed ~window =
+let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window =
   let timely = List.init k (fun i -> n - 1 - i) in
   let stack =
-    Tbwf_system.System.build ~backend ~seed ~telemetry:true
+    Tbwf_system.System.build ~backend ~substrate ~seed ~telemetry:true
       ~telemetry_window:window ~n Tbwf_system.System.Tbwf_atomic
   in
   let rt = stack.Tbwf_system.System.rt in
   let telemetry = Option.get stack.Tbwf_system.System.telemetry in
-  let policy = Scenario.degraded_policy ~n ~timely () in
+  (* Replica server pids, when present, get scheduled alongside the
+     clients; the E1-style timely set stays a client-pid property. *)
+  let policy =
+    match substrate with
+    | Tbwf_system.System.Shared_memory -> Scenario.degraded_policy ~n ~timely ()
+    | Tbwf_system.System.Message_passing config ->
+      Scenario.degraded_policy
+        ~n:(n + config.Tbwf_net.Net.replicas)
+        ~timely ()
+  in
   Tbwf_sim.Runtime.run rt ~policy ~steps;
   Tbwf_sim.Runtime.stop rt;
   {
     telemetry;
     describe =
       Fmt.str
-        "scenario: TBWF counter (atomic-register Ω∆), n=%d, k=%d timely \
-         (pids %a), %d steps, seed %Ld"
+        "scenario: TBWF counter (atomic-register Ω∆, %s), n=%d, k=%d \
+         timely (pids %a), %d steps, seed %Ld"
+        (Tbwf_system.System.substrate_name substrate)
         n k
         Fmt.(brackets (list ~sep:comma int))
         timely steps seed;
     verdict = None;
   }
 
-let run_plan_file ~backend ~path ~system ~seed =
+let run_plan_file ~backend ~substrate ~path ~system ~seed =
   match Fault_plan.of_string (read_file path) with
   | Error msg -> Error (Fmt.str "bad plan file %s: %s" path msg)
   | Ok plan ->
-    let r = Campaign.run_plan ~backend ~seed ~plan ~system () in
+    let r = Campaign.run_plan ~backend ~substrate ~seed ~plan ~system () in
     let v = r.Campaign.rr_verdict in
     Ok
       {
@@ -91,10 +101,29 @@ let run_plan_file ~backend ~path ~system ~seed =
 
 (* Quick dimensions are E1's quick dimensions; the default seed is E1's
    per-k seed so the exported numbers line up with its table. *)
-let resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window =
+let substrate_of_name = function
+  | "shared-memory" -> Ok Tbwf_system.System.Shared_memory
+  | "message-passing" ->
+    Ok (Tbwf_system.System.Message_passing Tbwf_net.Net.default_config)
+  | s ->
+    Error
+      (Fmt.str "unknown substrate %S (known: shared-memory, message-passing)"
+         s)
+
+let resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
+    =
   match Tbwf_sim.Backend.of_string backend with
   | Error msg -> Error msg
   | Ok backend -> (
+  match substrate_of_name substrate with
+  | Error msg -> Error msg
+  | Ok substrate when
+      backend = Tbwf_sim.Backend.Compiled
+      && substrate <> Tbwf_system.System.Shared_memory ->
+    Error
+      "the compiled backend requires the shared-memory substrate (use \
+       --backend reference with --substrate message-passing)"
+  | Ok substrate -> (
   match plan with
   | Some path -> (
     match Campaign.system_of_name system with
@@ -105,7 +134,7 @@ let resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window =
         | Some s -> Int64.of_int s
         | None -> Campaign.default_seed
       in
-      run_plan_file ~backend ~path ~system ~seed)
+      run_plan_file ~backend ~substrate ~path ~system ~seed)
   | None ->
     let n = Option.value n ~default:(if full then 8 else 4) in
     let k = Option.value k ~default:n in
@@ -119,11 +148,14 @@ let resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window =
         | Some s -> Int64.of_int s
         | None -> Int64.of_int (1000 + k)
       in
-      Ok (run_scenario ~backend ~n ~k ~steps ~seed ~window)
-    end)
+      Ok (run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window)
+    end))
 
-let with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
-  match resolve ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window with
+let with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
+    ~window f =
+  match
+    resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
+  with
   | Error msg ->
     Fmt.epr "%s@." msg;
     2
@@ -131,8 +163,9 @@ let with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window f =
 
 (* --- subcommands ---------------------------------------------------------- *)
 
-let run_cmd_impl backend plan system full n k steps seed window width =
-  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+let run_cmd_impl backend substrate plan system full n k steps seed window
+    width =
+  with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
   @@ fun run ->
   Fmt.pf fmt "%s@." run.describe;
   Option.iter (Fmt.pf fmt "%s@.") run.verdict;
@@ -141,17 +174,18 @@ let run_cmd_impl backend plan system full n k steps seed window width =
   Fmt.flush fmt ();
   0
 
-let timeline_cmd_impl backend plan system full n k steps seed window width =
-  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+let timeline_cmd_impl backend substrate plan system full n k steps seed
+    window width =
+  with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
   @@ fun run ->
   Fmt.pf fmt "%s@.@.%a" run.describe Timeline.pp
     (Timeline.build ~width run.telemetry);
   Fmt.flush fmt ();
   0
 
-let export_cmd_impl backend plan system full n k steps seed window pretty
-    out check_schema write_schema =
-  with_run ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window
+let export_cmd_impl backend substrate plan system full n k steps seed window
+    pretty out check_schema write_schema =
+  with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
   @@ fun run ->
   let snapshot = Collector.snapshot run.telemetry in
   let text =
@@ -249,6 +283,13 @@ let backend_arg =
                  compiled (flattened step machines). Observable output \
                  is byte-identical either way.")
 
+let substrate_arg =
+  Arg.(value & opt string "shared-memory"
+       & info [ "substrate" ] ~docv:"SUBSTRATE"
+           ~doc:"Register substrate: shared-memory, or message-passing \
+                 (ABD-style quorum emulation over the simulated network; \
+                 reference backend only).")
+
 let window_arg =
   Arg.(value & opt int 1024
        & info [ "window" ] ~docv:"STEPS"
@@ -260,10 +301,11 @@ let width_arg =
 
 let common f =
   Term.(
-    const (fun backend plan system full _quick n k steps seed window ->
-        f ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window)
-    $ backend_arg $ plan_arg $ system_arg $ full_arg $ quick_arg $ n_arg
-    $ k_arg $ steps_arg $ seed_arg $ window_arg)
+    const
+      (fun backend substrate plan system full _quick n k steps seed window ->
+        f ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window)
+    $ backend_arg $ substrate_arg $ plan_arg $ system_arg $ full_arg
+    $ quick_arg $ n_arg $ k_arg $ steps_arg $ seed_arg $ window_arg)
 
 let run_cmd =
   Cmd.v
@@ -272,8 +314,10 @@ let run_cmd =
              the progress/leader timeline")
     Term.(
       common
-        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
-          run_cmd_impl backend plan system full n k steps seed window width)
+        (fun ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
+             ~window width ->
+          run_cmd_impl backend substrate plan system full n k steps seed
+            window width)
       $ width_arg)
 
 let timeline_cmd =
@@ -283,9 +327,10 @@ let timeline_cmd =
              timeline")
     Term.(
       common
-        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window width ->
-          timeline_cmd_impl backend plan system full n k steps seed window
-            width)
+        (fun ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
+             ~window width ->
+          timeline_cmd_impl backend substrate plan system full n k steps
+            seed window width)
       $ width_arg)
 
 let export_cmd =
@@ -315,10 +360,10 @@ let export_cmd =
              telemetry snapshot")
     Term.(
       common
-        (fun ~backend ~plan ~system ~full ~n ~k ~steps ~seed ~window pretty
-             out check_schema write_schema ->
-          export_cmd_impl backend plan system full n k steps seed window
-            pretty out check_schema write_schema)
+        (fun ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
+             ~window pretty out check_schema write_schema ->
+          export_cmd_impl backend substrate plan system full n k steps seed
+            window pretty out check_schema write_schema)
       $ pretty $ out $ check_schema $ write_schema)
 
 let list_systems_cmd =

@@ -1,15 +1,30 @@
 open Tbwf_sim
 
+type emergent = {
+  em_replicas : int;
+  em_live : int list;
+  em_reach : (int * int list) list;
+}
+
 type prediction = {
   pred_n : int;
   pred_timely : int list;
   pred_from : int;
   pred_bound : int;
+  pred_emergent : emergent option;
 }
+
+let emergent_majority em = (em.em_replicas / 2) + 1
+
+let emergent_quorate em pid =
+  match List.assoc_opt pid em.em_reach with
+  | None -> false
+  | Some rs -> List.length rs >= emergent_majority em
 
 type process_verdict = {
   dv_pid : int;
   dv_predicted_timely : bool;
+  dv_quorate : bool option;
   dv_sched_timely : bool option;
   dv_tail_ops : int;
   dv_tail_steps : int;
@@ -42,7 +57,16 @@ let check ?(min_ops = 1) ?(require_sched_timely = true) ~prediction ~trace
   then invalid_arg "Degradation.check: completed arrays must have length n";
   let processes =
     List.init p.pred_n (fun pid ->
-        let predicted_timely = List.mem pid p.pred_timely in
+        (* On a message-passing substrate the process's register
+           timeliness is emergent: a timely schedule is not enough, it
+           must also reach a live majority of replicas over timely
+           links, or its quorum operations legitimately stall. *)
+        let quorate =
+          Option.map (fun em -> emergent_quorate em pid) p.pred_emergent
+        in
+        let predicted_timely =
+          List.mem pid p.pred_timely && quorate <> Some false
+        in
         let tail_ops = completed_after.(pid) - completed_before.(pid) in
         let steps = tail_steps trace ~pid ~from_step:p.pred_from in
         if not predicted_timely then
@@ -51,6 +75,7 @@ let check ?(min_ops = 1) ?(require_sched_timely = true) ~prediction ~trace
           {
             dv_pid = pid;
             dv_predicted_timely = false;
+            dv_quorate = quorate;
             dv_sched_timely = None;
             dv_tail_ops = tail_ops;
             dv_tail_steps = steps;
@@ -68,6 +93,7 @@ let check ?(min_ops = 1) ?(require_sched_timely = true) ~prediction ~trace
           {
             dv_pid = pid;
             dv_predicted_timely = true;
+            dv_quorate = quorate;
             dv_sched_timely = Some sched_timely;
             dv_tail_ops = tail_ops;
             dv_tail_steps = steps;
@@ -93,7 +119,14 @@ let min_timely_tail_ops verdict =
 
 let pp_process fmt v =
   Fmt.pf fmt "p%d %s: %d ops in %d own steps of the tail%s%s" v.dv_pid
-    (if v.dv_predicted_timely then "timely " else "exempt ")
+    (if v.dv_predicted_timely then
+       match v.dv_quorate with
+       | Some true -> "timely+quorate"
+       | Some false | None -> "timely "
+     else
+       match v.dv_quorate with
+       | Some false -> "exempt(no-quorum)"
+       | Some true | None -> "exempt ")
     v.dv_tail_ops v.dv_tail_steps
     (match v.dv_sched_timely with
     | Some false -> " [schedule not timely!]"

@@ -21,6 +21,17 @@
     that make some process non-timely — the negative control that shows
     the checker has teeth. *)
 
+type emergent = {
+  em_replicas : int;  (** replica count of the message-passing substrate *)
+  em_live : int list;
+      (** replicas the plan leaves uncrashed in the final regime *)
+  em_reach : (int * int list) list;
+      (** per client pid: which live replicas it reaches over links the
+          plan leaves timely in the final regime (no partition cut, no
+          persistent message loss; a pure delay ramp keeps a link
+          timely — slower but bounded, the graceful half of the story) *)
+}
+
 type prediction = {
   pred_n : int;  (** process count *)
   pred_timely : int list;
@@ -31,11 +42,29 @@ type prediction = {
   pred_bound : int;
       (** timeliness bound the compiled plan is expected to deliver for
           the predicted-timely processes (Definition 1's gap bound) *)
+  pred_emergent : emergent option;
+      (** [None] on shared memory (register timeliness is intrinsic).
+          [Some _] on a message-passing substrate: register timeliness is
+          {e emergent} from link timeliness to a live replica majority,
+          and a schedule-timely client that cannot reach a quorum is
+          exempt rather than guaranteed *)
 }
+
+val emergent_majority : emergent -> int
+(** [em_replicas/2 + 1]. *)
+
+val emergent_quorate : emergent -> int -> bool
+(** Does this client reach at least a majority of live replicas over
+    timely links? *)
 
 type process_verdict = {
   dv_pid : int;
   dv_predicted_timely : bool;
+      (** plan-predicted timely {e and} (on a message-passing substrate)
+          quorate — the guarantee actually in force *)
+  dv_quorate : bool option;
+      (** [None] on shared memory; on message passing, whether the client
+          reaches a live replica majority over timely links *)
   dv_sched_timely : bool option;
       (** for predicted-timely processes: did the executed schedule
           actually keep the process timely in the tail (sanity check on

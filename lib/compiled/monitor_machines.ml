@@ -6,9 +6,9 @@ open Tbwf_monitor
    pc 0: write the −1 sentinel; 1: sentinel written, awaiting active_for;
    2: a beat was written, keep beating while active. *)
 let monitored (t : Activity_monitor.t) : Runtime.machine =
-  let reg = t.Activity_monitor.hb_register in
-  let obj = Atomic_reg.shared reg in
-  let reset_op = Value.write_op (Atomic_reg.encode reg (-1)) in
+  let reg = t.Activity_monitor.hb in
+  let obj = Reg.obj_exn reg in
+  let reset_op = Value.write_op (reg.Reg.enc (-1)) in
   let hb_counter = ref 0 in
   let pc = ref 0 in
   let rec exec v =
@@ -41,8 +41,8 @@ let monitored (t : Activity_monitor.t) : Runtime.machine =
    tick; 3: a heartbeat read returned. *)
 let monitoring ~adapt ~increment_guards rt (t : Activity_monitor.t) :
     Runtime.machine =
-  let reg = t.Activity_monitor.hb_register in
-  let obj = Atomic_reg.shared reg in
+  let reg = t.Activity_monitor.hb in
+  let obj = Reg.obj_exn reg in
   let hb_timeout = ref 1 in
   let hb_timer = ref 1 in
   let hb_counter = ref 0 in
@@ -78,7 +78,7 @@ let monitoring ~adapt ~increment_guards rt (t : Activity_monitor.t) :
         else Runtime.M_yield
       end
     | 3 ->
-      hb_counter := Atomic_reg.decode reg v;
+      hb_counter := reg.Reg.dec v;
       if !hb_counter < 0 then
         Activity_monitor.set_status rt t Activity_monitor.Inactive;
       if !hb_counter >= 0 && !hb_counter > !prev_hb_counter then begin

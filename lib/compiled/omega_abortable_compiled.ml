@@ -62,7 +62,9 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
   let mi = ref 0 in
   let pc = ref 0 in
   let read_result reg v =
-    match v with Value.Abort -> None | v -> Some (Abortable_reg.decode reg v)
+    match v with
+    | Value.Abort -> None
+    | v -> Some (reg.Reg.Abortable.dec v)
   in
   let rec exec v =
     match !pc with
@@ -93,7 +95,7 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
         if q <> p && (not !first_send) && prev_write_done.(q) then begin
           pc := 4;
           Runtime.M_call
-            ( Abortable_reg.shared (hb1_w q),
+            ( Reg.Abortable.obj_exn (hb1_w q),
               Value.write_op (Value.Int !hb_send_counter) )
         end
         else begin
@@ -104,7 +106,7 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
     | 4 ->
       pc := 5;
       Runtime.M_call
-        ( Abortable_reg.shared (hb2_w !si),
+        ( Reg.Abortable.obj_exn (hb2_w !si),
           Value.write_op (Value.Int !hb_send_counter) )
     | 5 ->
       incr si;
@@ -128,7 +130,7 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
             prev_hb1.(q) <- cur_hb1.(q);
             prev_hb2.(q) <- cur_hb2.(q);
             pc := 7;
-            Runtime.M_call (Abortable_reg.shared (hb1_r q), Value.read_op)
+            Runtime.M_call (Reg.Abortable.obj_exn (hb1_r q), Value.read_op)
           end
           else begin
             incr ri;
@@ -139,7 +141,7 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
     | 7 ->
       cur_hb1.(!ri) <- read_result (hb1_r !ri) v;
       pc := 8;
-      Runtime.M_call (Abortable_reg.shared (hb2_r !ri), Value.read_op)
+      Runtime.M_call (Reg.Abortable.obj_exn (hb2_r !ri), Value.read_op)
     | 8 ->
       let q = !ri in
       cur_hb2.(q) <- read_result (hb2_r q) v;
@@ -190,8 +192,8 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
           let reg = msg_w q in
           pc := 11;
           Runtime.M_call
-            ( Abortable_reg.shared reg,
-              Value.write_op (Abortable_reg.encode reg msg_curr.(q)) )
+            ( Reg.Abortable.obj_exn reg,
+              Value.write_op (reg.Reg.Abortable.enc msg_curr.(q)) )
         end
         else begin
           incr wi;
@@ -219,7 +221,7 @@ let machine rt (t : Omega_abortable.t) p n : Runtime.machine =
           if read_timer.(q) = 0 then begin
             read_timer.(q) <- read_timeout.(q);
             pc := 13;
-            Runtime.M_call (Abortable_reg.shared (msg_r q), Value.read_op)
+            Runtime.M_call (Reg.Abortable.obj_exn (msg_r q), Value.read_op)
           end
           else begin
             incr mi;

@@ -19,8 +19,8 @@ let machine ~self_punishment rt (t : Omega_registers.t) p n : Runtime.machine =
   let active_for q =
     (Option.get t.Omega_registers.monitors.(q).(p)).Activity_monitor.active_for
   in
-  let counter_reg q = t.Omega_registers.counter_registers.(q) in
-  let counter_obj q = Atomic_reg.shared (counter_reg q) in
+  let counter_reg q = t.Omega_registers.counters.(q) in
+  let counter_obj q = Reg.obj_exn (counter_reg q) in
   let status = Array.make n Activity_monitor.Unknown in
   let fault_cntr = Array.make n 0 in
   let max_fault_cntr = Array.make n 0 in
@@ -57,7 +57,7 @@ let machine ~self_punishment rt (t : Omega_registers.t) p n : Runtime.machine =
       end
       else Runtime.M_yield
     | 2 ->
-      counter.(p) <- Atomic_reg.decode (counter_reg p) v;
+      counter.(p) <- (counter_reg p).Reg.dec v;
       pc := 3;
       Runtime.M_call
         (counter_obj p, Value.write_op (Value.Int (counter.(p) + 1)))
@@ -98,7 +98,7 @@ let machine ~self_punishment rt (t : Omega_registers.t) p n : Runtime.machine =
         end
       end
     | 6 ->
-      counter.(!rq) <- Atomic_reg.decode (counter_reg !rq) v;
+      counter.(!rq) <- (counter_reg !rq).Reg.dec v;
       incr rq;
       if !rq < n then Runtime.M_call (counter_obj !rq, Value.read_op)
       else begin
@@ -152,13 +152,15 @@ let install ?(self_punishment = true) rt =
         Array.init n (fun q ->
             if p = q then None else Some (Monitor_machines.install rt ~p ~q)))
   in
-  let counter_registers =
+  let factory = Reg.shared_factory rt in
+  let counters =
     Array.init n (fun q ->
-        Atomic_reg.create rt ~name:(Fmt.str "Counter[%d]" q) ~codec:Codec.int
-          ~init:0)
+        factory.Reg.mk_reg ~kind:Reg.Mwmr
+          ~name:(Fmt.str "Counter[%d]" q)
+          ~codec:Codec.int ~init:0)
   in
   let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
-  let t = { Omega_registers.handles; monitors; counter_registers } in
+  let t = { Omega_registers.handles; monitors; counters } in
   for p = 0 to n - 1 do
     Runtime.spawn_machine ~layer:Sink.Omega rt ~pid:p
       ~name:(Fmt.str "omega[%d]" p)

@@ -63,8 +63,8 @@ module Naive_booster = struct
       done
     done
 
-  let install rt =
-    let n = Runtime.n rt in
+  let install ?factory ?n rt =
+    let n = match n with Some n -> n | None -> Runtime.n rt in
     (* Doubling timeout: the aggressive adaptation that eventually trusts a
        decelerating process forever (see Activity_monitor.install). *)
     let adapt timeout = 2 * timeout in
@@ -72,7 +72,7 @@ module Naive_booster = struct
       Array.init n (fun p ->
           Array.init n (fun q ->
               if p = q then None
-              else Some (Activity_monitor.install ~adapt rt ~p ~q)))
+              else Some (Activity_monitor.install ~adapt ?factory rt ~p ~q)))
     in
     let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
     let t = { handles; monitors } in

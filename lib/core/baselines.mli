@@ -27,8 +27,10 @@ module Naive_booster : sig
     monitors : Tbwf_monitor.Activity_monitor.t option array array;
   }
 
-  val install : Tbwf_sim.Runtime.t -> t
+  val install :
+    ?factory:Tbwf_registers.Reg.factory -> ?n:int -> Tbwf_sim.Runtime.t -> t
   (** Spawn per-process election tasks using the same activity monitors as
       the real Ω∆ implementation, but electing min-pid-alive and never
-      punishing timeliness faults. *)
+      punishing timeliness faults. [factory]/[n] as in
+      {!Tbwf_omega.Omega_registers.install}. *)
 end

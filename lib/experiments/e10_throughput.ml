@@ -87,6 +87,23 @@ let full_tbwf ~backend steps () =
 let full_tbwf_ops steps () = full_tbwf ~backend:Backend.Reference steps ()
 let full_tbwf_ops_compiled steps () = full_tbwf ~backend:Backend.Compiled steps ()
 
+(* The same client workload with the Ω∆'s registers emulated over the
+   simulated network (ABD quorums against 3 replica server pids); the
+   ratio against [full_tbwf_ops] is the substrate overhead reported as
+   [substrate_overhead] in the --json output. *)
+let full_tbwf_ops_mp steps () =
+  let stack =
+    Tbwf_system.System.build
+      ~substrate:
+        (Tbwf_system.System.Message_passing Tbwf_net.Net.default_config)
+      ~seed:(Int64.add base_seed 5L) ~n:4 ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:[ 0; 1; 2; 3 ] Tbwf_system.System.Tbwf_atomic
+  in
+  Runtime.run stack.Tbwf_system.System.rt
+    ~policy:(Policy.round_robin ()) ~steps;
+  Runtime.stop stack.Tbwf_system.System.rt
+
 (* Same workload as [full_tbwf_ops] but with a telemetry collector
    attached: the difference between the two rows is the cost of live
    telemetry. [full_tbwf_ops] itself runs with the default nil sink, so
@@ -112,6 +129,7 @@ let layers =
     "query-abortable object", qa_object_ops;
     "full TBWF op (election + QA)", full_tbwf_ops;
     "full TBWF op (compiled backend)", full_tbwf_ops_compiled;
+    "full TBWF op (message-passing substrate)", full_tbwf_ops_mp;
     "full TBWF op + live telemetry", full_tbwf_ops_telemetry;
   ]
 

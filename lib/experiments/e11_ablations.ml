@@ -132,7 +132,7 @@ let counter_growth ~self_punishment ~quick =
   let total_steps = if quick then 240_000 else 600_000 in
   Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:total_steps;
   Runtime.stop rt;
-  !joins, Atomic_reg.peek om.Omega_registers.counter_registers.(0)
+  !joins, om.Omega_registers.counters.(0).Reg.peek ()
 
 let self_punishment_rows ~quick =
   let joins_sp, counter_sp = counter_growth ~self_punishment:true ~quick in

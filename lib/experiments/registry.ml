@@ -88,6 +88,11 @@ let all =
       title = "Nemesis degradation matrix";
       run = wrap E16_nemesis.compute E16_nemesis.report;
     };
+    {
+      id = "E17";
+      title = "degradation over message passing";
+      run = wrap E17_network.compute E17_network.report;
+    };
   ]
 
 let run_all ?quick fmt =

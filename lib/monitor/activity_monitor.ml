@@ -20,7 +20,7 @@ type t = {
   active_for : bool ref;
   status : status ref;
   fault_cntr : int ref;
-  hb_register : int Atomic_reg.t;
+  hb : int Reg.t;
 }
 
 (* Set the monitor's status estimate, emitting a telemetry signal when the
@@ -42,11 +42,11 @@ let set_status rt t s =
 let monitored_loop t =
   let hb_counter = ref 0 in
   while true do
-    Atomic_reg.write t.hb_register (-1);
+    t.hb.Reg.write (-1);
     Runtime.await (fun () -> !(t.active_for));
     while !(t.active_for) do
       incr hb_counter;
-      Atomic_reg.write t.hb_register !hb_counter
+      t.hb.Reg.write !hb_counter
     done
   done
 
@@ -68,7 +68,7 @@ let monitoring_loop ~adapt ~increment_guards rt t =
       if !hb_timer = 0 then begin
         hb_timer := !hb_timeout;
         prev_hb_counter := !hb_counter;
-        hb_counter := Atomic_reg.read t.hb_register;
+        hb_counter := t.hb.Reg.read ();
         if !hb_counter < 0 then set_status rt t Inactive;
         if !hb_counter >= 0 && !hb_counter > !prev_hb_counter then begin
           set_status rt t Active;
@@ -96,10 +96,14 @@ let monitoring_loop ~adapt ~increment_guards rt t =
     done
   done
 
-let make rt ~p ~q =
+let make ?factory rt ~p ~q =
   if p = q then invalid_arg "Activity_monitor.install: p = q";
-  let hb_register =
-    Atomic_reg.create rt
+  let factory =
+    match factory with Some f -> f | None -> Reg.shared_factory rt
+  in
+  let hb =
+    factory.Reg.mk_reg
+      ~kind:(Reg.Swmr { writer = q })
       ~name:(Fmt.str "Hb[%d->%d]" q p)
       ~codec:Codec.int ~init:(-1)
   in
@@ -110,14 +114,14 @@ let make rt ~p ~q =
     active_for = ref false;
     status = ref Unknown;
     fault_cntr = ref 0;
-    hb_register;
+    hb;
   }
 
 let task_names t =
   Fmt.str "amon-hb[%d->%d]" t.q t.p, Fmt.str "amon-watch[%d<-%d]" t.p t.q
 
-let install ?(adapt = succ) ?(increment_guards = true) rt ~p ~q =
-  let t = make rt ~p ~q in
+let install ?(adapt = succ) ?(increment_guards = true) ?factory rt ~p ~q =
+  let t = make ?factory rt ~p ~q in
   let hb_name, watch_name = task_names t in
   Runtime.spawn ~layer:Sink.Monitor rt ~pid:q ~name:hb_name (fun () ->
       monitored_loop t);

@@ -29,13 +29,16 @@ type t = {
   active_for : bool ref;  (** input at q: is q active for p? *)
   status : status ref;  (** output at p *)
   fault_cntr : int ref;  (** output at p *)
-  hb_register : int Tbwf_registers.Atomic_reg.t;
-      (** the shared register HbRegister[q,p], written by q and read by p *)
+  hb : int Tbwf_registers.Reg.t;
+      (** the register HbRegister[q,p], written by q and read by p — a
+          handle, so the substrate (shared memory or message passing) is
+          whichever factory wired the monitor *)
 }
 
 val install :
   ?adapt:(int -> int) ->
   ?increment_guards:bool ->
+  ?factory:Tbwf_registers.Reg.factory ->
   Tbwf_sim.Runtime.t ->
   p:int ->
   q:int ->
@@ -67,9 +70,11 @@ val install :
     the effect-based ones — the creation point is shared so both backends
     assign identical object ids. *)
 
-val make : Tbwf_sim.Runtime.t -> p:int -> q:int -> t
-(** Create the monitor's shared register and state {e without} spawning
-    its two loops. Requires [p <> q]. *)
+val make :
+  ?factory:Tbwf_registers.Reg.factory -> Tbwf_sim.Runtime.t -> p:int -> q:int -> t
+(** Create the monitor's register and state {e without} spawning its two
+    loops. Requires [p <> q]. [factory] selects the register substrate
+    (default: {!Tbwf_registers.Reg.shared_factory}). *)
 
 val task_names : t -> string * string
 (** The (monitored-loop, monitoring-loop) task names {!install} uses, so

@@ -39,7 +39,52 @@ let default_seed = 0x4E454D45L (* "NEME" *)
    [Tbwf_check.Degradation.tail_rate_denominator] doc comment. *)
 let required_tail_ops = Degradation.required_tail_ops
 
-let run_plan ?backend ?(seed = default_seed) ?min_ops ~plan ~system () =
+(* A register operation over the quorum emulation costs round-trips —
+   two phases of (send to all, await a majority, polled on a retransmit
+   cadence) — where a shared-memory operation costs one step. The
+   substrate cost factor feeds both knobs that calibrate verdicts to the
+   substrate: campaign horizons stretch by it (so tails hold enough
+   completions to separate degradation from noise) and the rate floor
+   divides by it (the guarantee is "keeps completing ops at the
+   substrate's own pace", not at shared memory's). *)
+let net_cost_factor = 4
+
+let net_required_tail_ops ~n ~tail =
+  max 2 (required_tail_ops ~n ~tail / net_cost_factor)
+
+(* Align a plan and a substrate choice: on message passing the plan must
+   know the replica count (its compiled policy schedules the replica
+   server pids; its prediction carries the emergent-timeliness picture),
+   and the network config must carry the plan's network atoms as
+   events. A plan written for replicas cannot run on shared memory. *)
+let align_substrate ?substrate plan =
+  match substrate with
+  | None | Some System.Shared_memory ->
+    if Fault_plan.replicas plan > 0 then
+      invalid_arg
+        "Campaign.run_plan: plan has network/replica atoms; run it on a          message-passing substrate"
+    else System.Shared_memory, plan
+  | Some (System.Message_passing config) ->
+    let plan =
+      if Fault_plan.replicas plan > 0 then plan
+      else
+        Fault_plan.make
+          ~replicas:config.Tbwf_net.Net.replicas
+          ~n:(Fault_plan.n plan) ~horizon:(Fault_plan.horizon plan)
+          (Fault_plan.atoms plan)
+    in
+    let config =
+      {
+        config with
+        Tbwf_net.Net.replicas = Fault_plan.replicas plan;
+        events = config.Tbwf_net.Net.events @ Fault_plan.net_events plan;
+      }
+    in
+    System.Message_passing config, plan
+
+let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ~plan
+    ~system () =
+  let substrate, plan = align_substrate ?substrate plan in
   let n = Fault_plan.n plan in
   let horizon = Fault_plan.horizon plan in
   (* The plan's channel-level atoms compile into the abort policies of the
@@ -54,8 +99,8 @@ let run_plan ?backend ?(seed = default_seed) ?min_ops ~plan ~system () =
       ~base:Abort_policy.Always
   in
   let stack =
-    System.build ?backend ~seed ~qa_policy ~mesh_policy ~telemetry:true ~n
-      system
+    System.build ?backend ~substrate ~seed ~qa_policy ~mesh_policy
+      ~telemetry:true ~n system
   in
   let rt = stack.System.rt in
   let telemetry = Option.get stack.System.telemetry in
@@ -79,7 +124,11 @@ let run_plan ?backend ?(seed = default_seed) ?min_ops ~plan ~system () =
   let min_ops =
     match min_ops with
     | Some m -> m
-    | None -> required_tail_ops ~n ~tail:(horizon - snap)
+    | None -> (
+      match substrate with
+      | System.Shared_memory -> required_tail_ops ~n ~tail:(horizon - snap)
+      | System.Message_passing _ ->
+        net_required_tail_ops ~n ~tail:(horizon - snap))
   in
   let verdict =
     Degradation.check ~min_ops ~prediction ~trace:(Runtime.trace rt)
@@ -183,14 +232,18 @@ let catalogue =
       c_atom = "flicker";
       c_plan =
         (fun ~n ~horizon ->
+          (* The flicker's cycle lengths scale with the horizon (40 and
+             200 at the quick 96k), so the shape is self-similar at any
+             dimensions — in particular the stretched message-passing
+             horizons keep the tail inside the same flicker regime. *)
           Fault_plan.make ~n ~horizon
             [
               Fault_plan.Flicker
                 {
                   pid = 0;
                   at = 0;
-                  active = 40;
-                  sleep = 200;
+                  active = max 1 (horizon / 2_400);
+                  sleep = max 1 (horizon / 480);
                   growth = 1.2;
                 };
             ]);
@@ -254,8 +307,125 @@ let catalogue =
     };
   ]
 
+(* --- the network campaigns ------------------------------------------------ *)
+
+(* Message-passing-substrate campaigns: same slowdown control on process
+   0, plus a network headline atom. Each is designed so the final regime
+   leaves every surviving client either quorate (a live majority of
+   replicas behind timely links — its guarantee must hold) or provably
+   cut off (exempt). *)
+let net_replicas = 3
+
+let net_catalogue =
+  [
+    {
+      c_name = "net-partition-heal";
+      c_summary =
+        "a partition isolates replica 0 over [h/4, h/2), then heals: a          transient minority cut that retransmissions must ride out; plus          the slowdown control on process 0";
+      c_atom = "partition";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Partition
+                { at = horizon / 4; side = [ Fault_plan.Replica 0 ] };
+              Fault_plan.Heal { at = horizon / 2 };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "net-minority-partition";
+      c_summary =
+        "from h/2, replica 2 is partitioned away forever: a persistent          minority cut — quorums keep forming on the majority side, so          every timely client stays quorate; plus the slowdown control";
+      c_atom = "partition";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Partition
+                { at = horizon / 2; side = [ Fault_plan.Replica 2 ] };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "net-client-cut";
+      c_summary =
+        "from h/2, client 1 is partitioned away from everyone forever:          its register operations stall on quorums (exempt — emergent          untimeliness), while every other client must keep its          guarantee; plus the slowdown control";
+      c_atom = "partition";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Partition
+                { at = horizon / 2; side = [ Fault_plan.Client 1 ] };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "net-delay-ramp";
+      c_summary =
+        "every link's latency ramps up by 0 to 3 extra steps from h/4 to          the horizon — registers get slower but stay timely, the          graceful half of emergent timeliness; plus the slowdown control";
+      c_atom = "delay-ramp";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Delay_ramp
+                {
+                  from = horizon / 4;
+                  until = horizon;
+                  extra0 = 0.0;
+                  extra1 = 3.0;
+                  node = None;
+                };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "net-drop-storm";
+      c_summary =
+        "messages drop with probability ramping 0.3 to 0.8 over [h/4,          3h/4), then the storm lifts — retransmissions carry the quorums          through; plus the slowdown control";
+      c_atom = "drop";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Drop
+                {
+                  from = horizon / 4;
+                  until = 3 * horizon / 4;
+                  rate0 = 0.3;
+                  rate1 = 0.8;
+                  node = None;
+                };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+    {
+      c_name = "net-replica-crash";
+      c_summary =
+        "replica 2 crashes at 3h/8: a minority crash the ABD emulation          tolerates by construction — quorums shrink to the live          majority; plus the slowdown control";
+      c_atom = "crash-replica";
+      c_plan =
+        (fun ~n ~horizon ->
+          Fault_plan.make ~replicas:net_replicas ~n ~horizon
+            [
+              slow ~pid:0 ~at:0;
+              Fault_plan.Crash_replica { r = 2; at = 3 * horizon / 8 };
+            ]);
+      c_expect_fail = baseline_systems;
+    };
+  ]
+
 let find name =
-  List.find_opt (fun c -> String.equal c.c_name name) catalogue
+  List.find_opt
+    (fun c -> String.equal c.c_name name)
+    (catalogue @ net_catalogue)
 
 (* --- running a campaign --------------------------------------------------- *)
 
@@ -274,6 +444,12 @@ type outcome = {
 }
 
 let dimensions ~quick = if quick then 4, 96_000 else 6, 480_000
+
+let substrate_dimensions ?substrate ~quick () =
+  let n, horizon = dimensions ~quick in
+  match substrate with
+  | None | Some System.Shared_memory -> n, horizon
+  | Some (System.Message_passing _) -> n, horizon * net_cost_factor
 
 let row_of_result campaign system result =
   let expected_fail = List.mem system campaign.c_expect_fail in
@@ -294,15 +470,15 @@ let map_cells ?pool f cells =
     Tbwf_parallel.Pool.map pool (Array.of_list cells) f |> Array.to_list
   | _ -> List.map f cells
 
-let run ?backend ?(quick = true) ?seed ?pool ?(systems = all_systems)
-    campaign =
-  let n, horizon = dimensions ~quick in
+let run ?backend ?substrate ?(quick = true) ?seed ?pool
+    ?(systems = all_systems) campaign =
+  let n, horizon = substrate_dimensions ?substrate ~quick () in
   let plan = campaign.c_plan ~n ~horizon in
   let rows =
     map_cells ?pool
       (fun system ->
         row_of_result campaign system
-          (run_plan ?backend ?seed ~plan ~system ()))
+          (run_plan ?backend ?substrate ?seed ~plan ~system ()))
       systems
   in
   {
@@ -320,10 +496,19 @@ type matrix = {
   m_telemetry : Tbwf_telemetry.Collector.t;
 }
 
-let run_matrix ?backend ?pool ?(quick = true) ?seed
+let run_matrix ?backend ?substrate ?pool ?(quick = true) ?seed
     ?(systems = all_systems) () =
-  let n, horizon = dimensions ~quick in
+  let n, horizon = substrate_dimensions ?substrate ~quick () in
   if systems = [] then invalid_arg "Campaign.run_matrix: no systems";
+  (* On message passing the matrix gains the network axis: the stock
+     campaigns re-run over emergent-timeliness registers, plus the
+     network campaigns proper. Shared memory keeps the historical
+     matrix exactly. *)
+  let matrix_catalogue =
+    match substrate with
+    | None | Some System.Shared_memory -> catalogue
+    | Some (System.Message_passing _) -> catalogue @ net_catalogue
+  in
   (* One task per (campaign, system) cell, campaign-major — finer-grained
      than pooling [run] per campaign, so a slow cell doesn't serialize its
      whole campaign. Regrouping walks the same order, and the aggregate
@@ -334,11 +519,12 @@ let run_matrix ?backend ?pool ?(quick = true) ?seed
       (fun campaign ->
         let plan = campaign.c_plan ~n ~horizon in
         List.map (fun system -> campaign, plan, system) systems)
-      catalogue
+      matrix_catalogue
   in
   let results =
     map_cells ?pool
-      (fun (_, plan, system) -> run_plan ?backend ?seed ~plan ~system ())
+      (fun (_, plan, system) ->
+        run_plan ?backend ?substrate ?seed ~plan ~system ())
       cells
   in
   let rows =
@@ -359,7 +545,7 @@ let run_matrix ?backend ?pool ?(quick = true) ?seed
           o_rows = c_rows;
           o_ok = List.for_all (fun r -> r.row_as_expected) c_rows;
         })
-      catalogue
+      matrix_catalogue
   in
   let telemetry =
     List.map (fun r -> r.rr_telemetry) results

@@ -59,6 +59,7 @@ val required_tail_ops : n:int -> tail:int -> int
 
 val run_plan :
   ?backend:Tbwf_sim.Backend.t ->
+  ?substrate:Tbwf_system.System.substrate ->
   ?seed:int64 ->
   ?min_ops:int ->
   plan:Fault_plan.t ->
@@ -71,7 +72,18 @@ val run_plan :
     (the last quarter of the horizon, or from the plan's settle step if
     that is later). [backend] selects the execution backend for the
     stack (default reference); verdicts and telemetry are identical
-    either way. *)
+    either way.
+
+    [substrate] (default shared memory) selects what the Ω∆'s registers
+    are made of. On a message-passing substrate the plan's network atoms
+    compile into the network's event list, the replica count is taken
+    from the plan (or from the config for a replica-less plan, which is
+    re-made to schedule the replica pids), and the verdict exempts
+    clients the plan cuts off from a live replica majority (emergent
+    untimeliness — see {!Tbwf_check.Degradation}). Raises
+    [Invalid_argument] for a plan with replica/network atoms on shared
+    memory, and (via {!Tbwf_system.System.build}) for message passing on
+    the compiled backend. *)
 
 (** {2 The campaign catalogue} *)
 
@@ -91,10 +103,34 @@ val catalogue : t list
 (** Six campaigns, at least one per fault atom; every one expects the
     paper systems to pass and the baselines to fail. *)
 
+val net_replicas : int
+(** Replica count the network campaigns are written for (3: the smallest
+    cluster with a crash-tolerant majority). *)
+
+val net_catalogue : t list
+(** Six message-passing campaigns, at least one per network fault atom
+    (partition/heal, drop, delay-ramp, replica crash), each keeping the
+    slowdown control. Their plans carry [replicas = net_replicas] and
+    require a message-passing substrate to run. *)
+
 val find : string -> t option
+(** Searches {!catalogue} then {!net_catalogue}. *)
 
 val dimensions : quick:bool -> int * int
 (** [(n, horizon)]: (4, 96k) quick, (6, 480k) full. *)
+
+val net_cost_factor : int
+(** How many steps a register operation costs over the quorum emulation
+    for every one it costs on shared memory (round-trips, polled on the
+    retransmit cadence). Calibrates the message-passing matrix: campaign
+    horizons stretch by it and the tail-rate floor divides by it, so
+    verdicts measure degradation against the substrate's own pace. *)
+
+val substrate_dimensions :
+  ?substrate:Tbwf_system.System.substrate -> quick:bool -> unit -> int * int
+(** {!dimensions}, with the horizon scaled by {!net_cost_factor} on a
+    message-passing substrate — the dimensions {!run} and {!run_matrix}
+    actually use. *)
 
 (** {2 Campaign outcomes} *)
 
@@ -114,6 +150,7 @@ type outcome = {
 
 val run :
   ?backend:Tbwf_sim.Backend.t ->
+  ?substrate:Tbwf_system.System.substrate ->
   ?quick:bool ->
   ?seed:int64 ->
   ?pool:Tbwf_parallel.Pool.t ->
@@ -138,6 +175,7 @@ type matrix = {
 
 val run_matrix :
   ?backend:Tbwf_sim.Backend.t ->
+  ?substrate:Tbwf_system.System.substrate ->
   ?pool:Tbwf_parallel.Pool.t ->
   ?quick:bool ->
   ?seed:int64 ->
@@ -148,7 +186,13 @@ val run_matrix :
     (campaign, system) cell, campaign-major. Outcomes regroup in
     catalogue order and the aggregate collector folds in cell order, so
     the matrix — including the merged telemetry snapshot — is
-    byte-identical at any domain count. *)
+    byte-identical at any domain count.
+
+    With a message-passing [substrate] the matrix gains the network
+    axis: the stock campaigns re-run with emergent register timeliness,
+    followed by {!net_catalogue} — the E16-style answer to whether TBWF
+    graceful degradation survives when register timeliness is emergent
+    rather than assumed. *)
 
 val pp_row : Format.formatter -> row -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -26,6 +26,13 @@ type target =
 val target_name : target -> string
 val target_of_name : string -> (target, string) result
 
+(** A network endpoint, for the v2 network atoms: client [c<i>] (pid [i])
+    or replica server [r<j>] (pid [n + j] in a message-passing runtime). *)
+type node = Client of int | Replica of int
+
+val node_name : node -> string
+val node_of_name : string -> (node, string) result
+
 type atom =
   | Crash of { pid : int; at : int }
       (** the process halts forever at step [at]; any in-flight operation
@@ -55,14 +62,55 @@ type atom =
       (** over \[[from], [until]), writes into the Ω heartbeat mesh abort:
           heartbeats are lost in flight and readers keep seeing stale
           values. Reads are untouched ([Omega_mesh]-only by construction). *)
+  | Partition of { at : int; side : node list }
+      (** v2: from [at], the network is split into [side] and everyone
+          else; messages crossing the cut are dropped at send time
+          (in-flight messages still deliver). Replaces any earlier cut. *)
+  | Heal of { at : int }
+      (** v2: from [at], no partition is in effect *)
+  | Delay_ramp of {
+      from : int;
+      until : int;
+      extra0 : float;
+      extra1 : float;
+      node : node option;
+    }
+      (** v2: over \[[from], [until]), extra per-message latency ramping
+          linearly from [extra0] to [extra1] steps on links touching
+          [node] ([None] = all links). Delay alone never revokes
+          timeliness in the final regime — latency stays bounded. *)
+  | Drop of {
+      from : int;
+      until : int;
+      rate0 : float;
+      rate1 : float;
+      node : node option;
+    }
+      (** v2: over \[[from], [until]), messages on links touching [node]
+          ([None] = all links) are lost with probability ramping from
+          [rate0] to [rate1], drawn from the object stream. A drop window
+          persisting to the horizon with [rate1 > 0] makes its links
+          untimely in the final regime. *)
+  | Crash_replica of { r : int; at : int }
+      (** v2: replica server [r] (pid [n + r]) halts forever at [at] *)
+  | Unknown of { line : string }
+      (** an atom kind this version does not know, carried verbatim: v2+
+          plans from newer writers parse, shrink, and re-serialize without
+          silently dropping atoms. Compiles to nothing. *)
 
 type t
 
-val make : n:int -> horizon:int -> atom list -> t
-(** Validates every atom against [n] and [horizon]; raises
+val make : ?replicas:int -> n:int -> horizon:int -> atom list -> t
+(** Validates every atom against [n], [replicas] (default 0; network
+    atoms require [replicas > 0]) and [horizon]; raises
     [Invalid_argument] with the offending atom's complaint. *)
 
 val n : t -> int
+
+val replicas : t -> int
+(** Replica count of the message-passing substrate the plan targets;
+    0 for a shared-memory plan. *)
+
 val horizon : t -> int
 val atoms : t -> atom list
 val equal : t -> t -> bool
@@ -72,7 +120,15 @@ val equal : t -> t -> bool
     Header [tbwf-plan v1 n=<n> horizon=<h>], then one [key=value] line per
     atom. Blank lines and [#] comments are ignored on input; floats are
     printed with enough digits ([%.12g]) that
-    [of_string (to_string p) = Ok p]. *)
+    [of_string (to_string p) = Ok p].
+
+    Plans whose atoms all predate v2 (and with [replicas = 0]) serialize
+    with the historical [v1] header, byte-identically to earlier
+    releases. A positive replica count or any v2/unknown atom switches
+    the header to [tbwf-plan v2 n=<n> horizon=<h> replicas=<m>] (the
+    [replicas=] field appears only when positive). [of_string] accepts
+    both; under a [v2] header an unrecognized atom kind parses as
+    {!Unknown} instead of an error, so future atoms round-trip. *)
 
 val to_string : t -> string
 val of_string : string -> (t, string) result
@@ -92,22 +148,40 @@ val settle_step : t -> int
 
 val timeliness_bound : t -> int
 (** The scheduling-gap bound the compiled policy delivers for timely
-    processes: [4 * (n + 1)] — the base rotation has period [n + 1], and
-    soft steps granted to flickering processes can displace a hard claim
-    by at most a constant factor (see {!Tbwf_sim.Policy}). *)
+    processes: [4 * (n + replicas + 1)] — the base rotation has period
+    [n + replicas + 1], and soft steps granted to flickering processes
+    can displace a hard claim by at most a constant factor (see
+    {!Tbwf_sim.Policy}). *)
+
+val emergent : t -> Tbwf_check.Degradation.emergent option
+(** The emergent-timeliness picture on a message-passing substrate
+    ([None] when [replicas = 0]): which replicas the plan leaves alive in
+    the final regime, and which of them each client reaches over timely
+    links — the last [Partition]/[Heal] decides the cut, a [Drop] window
+    persisting to the horizon with [rate1 > 0] makes its links untimely,
+    and [Delay_ramp] never does. *)
 
 val prediction : t -> Tbwf_check.Degradation.prediction
 
 (** {2 Compilation} *)
 
 val policy : ?name:string -> t -> Tbwf_sim.Policy.t
-(** The scheduling policy: every pid starts on a timely base rotation
-    [Every {period = n + 1; offset = pid}] (the spare step per round lets
-    soft-claim patterns run), overridden by [Switch_at] chains built from
-    the pid's [Slow]/[Timely]/[Flicker] atoms in onset order. *)
+(** The scheduling policy over all [n + replicas] pids: every pid starts
+    on a timely base rotation [Every {period = n + replicas + 1; offset =
+    pid}] (the spare step per round lets soft-claim patterns run),
+    overridden by [Switch_at] chains built from the pid's
+    [Slow]/[Timely]/[Flicker] atoms in onset order. Replica server pids
+    stay on the base rotation. *)
 
 val install_crashes : t -> Tbwf_sim.Runtime.t -> unit
-(** Registers every [Crash] atom via {!Tbwf_sim.Runtime.crash_at}. *)
+(** Registers every [Crash] atom via {!Tbwf_sim.Runtime.crash_at}, and
+    every [Crash_replica {r; _}] as pid [n + r] — the runtime must be
+    [n + replicas] processes wide when the plan has replica atoms. *)
+
+val net_events : t -> Tbwf_net.Net.event list
+(** The plan's network atoms compiled to network events (nodes resolved
+    to pids), in atom order, for {!Tbwf_net.Net.config}. Empty for a
+    shared-memory plan. *)
 
 val abort_policy :
   t ->
@@ -122,10 +196,13 @@ val abort_policy :
 
 (** {2 Generation and shrinking} *)
 
-val gen : ?max_atoms:int -> Tbwf_sim.Rng.t -> n:int -> horizon:int -> t
+val gen :
+  ?max_atoms:int -> ?replicas:int -> Tbwf_sim.Rng.t -> n:int -> horizon:int -> t
 (** Random plan with 1..[max_atoms] (default 3) atoms, parameters drawn
     from tidy grids (onsets on eighths of the horizon, a few gap/growth/
-    rate values) so that shrunk counterexamples stay human-readable. *)
+    rate values) so that shrunk counterexamples stay human-readable. With
+    [replicas > 0] (default 0) the pool includes the network atoms and
+    replica crashes. *)
 
 val shrink : fails:(t -> bool) -> t -> t
 (** Delta-debugs the atom list with {!Tbwf_check.Shrink.ddmin}: returns a

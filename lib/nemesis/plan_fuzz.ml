@@ -1,11 +1,12 @@
 open Tbwf_sim
 open Tbwf_registers
 open Tbwf_check
+open Tbwf_system
 
-let fuzz ?seed ?runs ?pool ?(max_atoms = 3) ~n ~horizon ~scenario
-    ~make_runtime () =
+let fuzz ?seed ?runs ?pool ?(max_atoms = 3) ?(replicas = 0) ~n ~horizon
+    ~scenario ~make_runtime () =
   Explore.fuzz_faults ?seed ?runs ?pool
-    ~gen_plan:(fun rng -> Fault_plan.gen ~max_atoms rng ~n ~horizon)
+    ~gen_plan:(fun rng -> Fault_plan.gen ~max_atoms ~replicas rng ~n ~horizon)
     ~shrink_plan:Fault_plan.shrink ~max_steps:horizon ~scenario ~make_runtime
     ()
 
@@ -22,27 +23,57 @@ let fuzz ?seed ?runs ?pool ?(max_atoms = 3) ~n ~horizon ~scenario
 let demo_n = 2
 let demo_seed = 0xDE4003EDL
 
-let demo_make_runtime plan () =
-  let rt = Runtime.create ~seed:demo_seed ~n:demo_n () in
+let demo_pid_count ?(substrate = System.Shared_memory) plan =
+  match substrate with
+  | System.Shared_memory -> demo_n
+  | System.Message_passing config ->
+    demo_n + max config.Tbwf_net.Net.replicas (Fault_plan.replicas plan)
+
+let demo_make_runtime ?substrate plan () =
+  let n = demo_pid_count ?substrate plan in
+  let rt = Runtime.create ~seed:demo_seed ~n () in
   Fault_plan.install_crashes plan rt;
   rt
 
-let demo_scenario plan rt =
+let demo_scenario ?(substrate = System.Shared_memory) plan rt =
   let policy =
     Fault_plan.abort_policy plan ~target:Fault_plan.Qa
       ~base:Abort_policy.Never
   in
-  let reg =
-    Abortable_reg.create rt ~name:"demo-reg" ~codec:Codec.int ~init:(-1)
-      ~writer:0 ~reader:1 ~policy
-      ~write_effect:Abort_policy.Effect_never ()
+  let reg_write, reg_peek =
+    match substrate with
+    | System.Shared_memory ->
+      let reg =
+        Abortable_reg.create rt ~name:"demo-reg" ~codec:Codec.int ~init:(-1)
+          ~writer:0 ~reader:1 ~policy
+          ~write_effect:Abort_policy.Effect_never ()
+      in
+      Abortable_reg.write reg, fun () -> Abortable_reg.peek reg
+    | System.Message_passing config ->
+      let config =
+        {
+          config with
+          Tbwf_net.Net.replicas =
+            max config.Tbwf_net.Net.replicas (Fault_plan.replicas plan);
+          events =
+            config.Tbwf_net.Net.events @ Fault_plan.net_events plan;
+        }
+      in
+      let net = Tbwf_net.Net.create rt ~config in
+      let cluster = Mp_reg.Cluster.create rt ~net in
+      let reg =
+        Mp_reg.abortable cluster ~name:"demo-reg" ~codec:Codec.int ~init:(-1)
+          ~writer:0 ~reader:1 ~policy
+          ~write_effect:(Some Abort_policy.Effect_never)
+      in
+      reg.Reg.Abortable.write, reg.Reg.Abortable.peek
   in
   let recorded = ref None in
   Runtime.spawn rt ~pid:0 ~name:"buggy-writer" (fun () ->
       let k = ref 0 in
       while true do
         let v = !k in
-        let (_ : bool) = Abortable_reg.write reg v in
+        let (_ : bool) = reg_write v in
         (* BUG: the ⊥ result is discarded; an aborted write that did not
            take effect is still recorded as the current value. *)
         recorded := Some v;
@@ -52,11 +83,18 @@ let demo_scenario plan rt =
   fun () ->
     match !recorded with
     | None -> true
-    | Some v -> Abortable_reg.peek reg = v
+    | Some v -> (
+      match substrate with
+      | System.Shared_memory -> reg_peek () = v
+      (* On message passing a completing quorum write lands at replicas
+         before the client records it, so equality would trip on honest
+         in-flight states; monotonicity is the invariant that survives —
+         and an Effect_never abort recorded as done still violates it. *)
+      | System.Message_passing _ -> reg_peek () >= v)
 
-let demo_replay plan pids =
-  let rt = demo_make_runtime plan () in
-  let invariant = demo_scenario plan rt in
+let demo_replay ?substrate plan pids =
+  let rt = demo_make_runtime ?substrate plan () in
+  let invariant = demo_scenario ?substrate plan rt in
   let held = ref (invariant ()) in
   List.iter
     (fun pid ->
@@ -70,6 +108,13 @@ let demo_replay plan pids =
   Runtime.stop rt;
   !held, fp
 
-let demo ?seed ?(runs = 200) ?pool ~horizon () =
-  fuzz ?seed ~runs ?pool ~max_atoms:2 ~n:demo_n ~horizon
-    ~scenario:demo_scenario ~make_runtime:demo_make_runtime ()
+let demo ?seed ?(runs = 200) ?pool ?(substrate = System.Shared_memory)
+    ~horizon () =
+  let replicas =
+    match substrate with
+    | System.Shared_memory -> 0
+    | System.Message_passing config -> config.Tbwf_net.Net.replicas
+  in
+  fuzz ?seed ~runs ?pool ~max_atoms:2 ~replicas ~n:demo_n ~horizon
+    ~scenario:(demo_scenario ~substrate)
+    ~make_runtime:(demo_make_runtime ~substrate) ()

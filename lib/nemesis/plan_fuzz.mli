@@ -19,28 +19,60 @@ val fuzz :
   ?runs:int ->
   ?pool:Tbwf_parallel.Pool.t ->
   ?max_atoms:int ->
+  ?replicas:int ->
   n:int ->
   horizon:int ->
   scenario:(Fault_plan.t -> Tbwf_sim.Runtime.t -> unit -> bool) ->
   make_runtime:(Fault_plan.t -> unit -> Tbwf_sim.Runtime.t) ->
   unit ->
   Fault_plan.t Tbwf_check.Explore.fault_fuzz_outcome
+(** [replicas] (default 0) is forwarded to {!Fault_plan.gen}: positive,
+    the drawn plans include network atoms and replica crashes, and shrink
+    kind-agnostically — unknown/future atom kinds ride through ddmin and
+    re-serialization untouched rather than being silently dropped. *)
 
 val demo_n : int
-val demo_make_runtime : Fault_plan.t -> unit -> Tbwf_sim.Runtime.t
-val demo_scenario : Fault_plan.t -> Tbwf_sim.Runtime.t -> unit -> bool
+
+val demo_pid_count :
+  ?substrate:Tbwf_system.System.substrate -> Fault_plan.t -> int
+(** Pids in the demo runtime under [plan]: [demo_n] clients, plus the
+    replica server pids on message passing — the [n] a witness schedule
+    over the demo scenario must be validated against. *)
+
+val demo_make_runtime :
+  ?substrate:Tbwf_system.System.substrate ->
+  Fault_plan.t ->
+  unit ->
+  Tbwf_sim.Runtime.t
+
+val demo_scenario :
+  ?substrate:Tbwf_system.System.substrate ->
+  Fault_plan.t ->
+  Tbwf_sim.Runtime.t ->
+  unit ->
+  bool
+(** The planted-bug scenario on either substrate. On shared memory the
+    invariant is [peek = recorded]; on message passing a completing
+    quorum write lands at the replicas before the client records it, so
+    the invariant is the monotone [peek >= recorded] — which an
+    [Effect_never] abort recorded as done still violates. *)
 
 val demo :
   ?seed:int64 ->
   ?runs:int ->
   ?pool:Tbwf_parallel.Pool.t ->
+  ?substrate:Tbwf_system.System.substrate ->
   horizon:int ->
   unit ->
   Fault_plan.t Tbwf_check.Explore.fault_fuzz_outcome
 (** Fuzz the planted-bug scenario; with the default seed and [runs] it
     finds, shrinks, and returns a (schedule, one-atom-plan) pair. *)
 
-val demo_replay : Fault_plan.t -> int list -> bool * string
+val demo_replay :
+  ?substrate:Tbwf_system.System.substrate ->
+  Fault_plan.t ->
+  int list ->
+  bool * string
 (** Replay the whole pid schedule against the demo scenario under [plan]
     (not stopping at a violation) and return whether the invariant held
     throughout, plus the run's {!Tbwf_sim.Trace.fingerprint} — equal

@@ -1,0 +1,261 @@
+(* Deterministic simulated message-passing network. See net.mli for the
+   model and the determinism contract. *)
+
+open Tbwf_sim
+
+type event =
+  | Ev_partition of { at : int; side : int list }
+  | Ev_heal of { at : int }
+  | Ev_delay of {
+      from_ : int;
+      until : int;
+      extra0 : float;
+      extra1 : float;
+      node : int option;
+    }
+  | Ev_drop of {
+      from_ : int;
+      until : int;
+      rate0 : float;
+      rate1 : float;
+      node : int option;
+    }
+
+type config = {
+  replicas : int;
+  base_latency : int;
+  jitter : int;
+  retransmit_every : int;
+  events : event list;
+}
+
+let default_config =
+  {
+    replicas = 3;
+    base_latency = 3;
+    jitter = 2;
+    retransmit_every = 12;
+    events = [];
+  }
+
+let majority config = (config.replicas / 2) + 1
+
+let validate_event = function
+  | Ev_partition { at; side } ->
+    if at < 0 then Error "partition: at < 0"
+    else if side = [] then Error "partition: empty side"
+    else Ok ()
+  | Ev_heal { at } -> if at < 0 then Error "heal: at < 0" else Ok ()
+  | Ev_delay { from_; until; extra0; extra1; _ } ->
+    if from_ < 0 || until < from_ then Error "delay: bad window"
+    else if extra0 < 0. || extra1 < 0. then Error "delay: negative extra"
+    else Ok ()
+  | Ev_drop { from_; until; rate0; rate1; _ } ->
+    if from_ < 0 || until < from_ then Error "drop: bad window"
+    else if rate0 < 0. || rate0 > 1. || rate1 < 0. || rate1 > 1. then
+      Error "drop: rate outside [0,1]"
+    else Ok ()
+
+let validate_config config =
+  if config.replicas < 1 then Error "config: replicas < 1"
+  else if config.base_latency < 1 then Error "config: base_latency < 1"
+  else if config.jitter < 0 then Error "config: jitter < 0"
+  else if config.retransmit_every < 1 then Error "config: retransmit_every < 1"
+  else
+    List.fold_left
+      (fun acc ev -> match acc with Error _ -> acc | Ok () -> validate_event ev)
+      (Ok ()) config.events
+
+(* --- pure timeline queries ------------------------------------------------ *)
+
+let event_time = function
+  | Ev_partition { at; _ } | Ev_heal { at } -> at
+  | Ev_delay { from_; _ } | Ev_drop { from_; _ } -> from_
+
+let sorted_events config =
+  List.stable_sort (fun a b -> compare (event_time a) (event_time b))
+    config.events
+
+(* Last partition/heal with [at' <= at] wins (events pre-sorted by time,
+   stably, so same-step entries resolve in list order). *)
+let partition_side events ~at =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Ev_partition { at = t; side } when t <= at -> Some side
+      | Ev_heal { at = t } when t <= at -> None
+      | _ -> acc)
+    None events
+
+let link_matches node a b =
+  match node with None -> true | Some p -> p = a || p = b
+
+let interp ~from_ ~until ~v0 ~v1 at =
+  if until <= from_ then v1
+  else
+    v0
+    +. (v1 -. v0)
+       *. float_of_int (at - from_)
+       /. float_of_int (until - from_)
+
+let cut_in events ~at a b =
+  match partition_side events ~at with
+  | None -> false
+  | Some side -> List.mem a side <> List.mem b side
+
+let drop_rate_in events ~at a b =
+  let survive =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Ev_drop { from_; until; rate0; rate1; node }
+          when from_ <= at && at < until && link_matches node a b ->
+          let r =
+            Float.min 1. (Float.max 0. (interp ~from_ ~until ~v0:rate0 ~v1:rate1 at))
+          in
+          acc *. (1. -. r)
+        | _ -> acc)
+      1. events
+  in
+  1. -. survive
+
+let extra_delay_in events ~at a b =
+  let extra =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Ev_delay { from_; until; extra0; extra1; node }
+          when from_ <= at && at < until && link_matches node a b ->
+          acc +. Float.max 0. (interp ~from_ ~until ~v0:extra0 ~v1:extra1 at)
+        | _ -> acc)
+      0. events
+  in
+  int_of_float (Float.round extra)
+
+let cut_at config ~at a b = cut_in (sorted_events config) ~at a b
+let drop_rate_at config ~at a b = drop_rate_in (sorted_events config) ~at a b
+
+let extra_delay_at config ~at a b =
+  extra_delay_in (sorted_events config) ~at a b
+
+(* --- transport ------------------------------------------------------------ *)
+
+type msg = {
+  delivery : int;
+  seq : int;  (** global send order, the delivery tie-break *)
+  src : int;
+  key : int;
+  payload : Value.t;
+}
+
+type t = {
+  rt : Runtime.t;
+  config : config;
+  events : event list;  (** sorted by time *)
+  inboxes : Shared.t array;
+  queues : msg list ref array;  (** pending per destination *)
+  seq : int ref;
+  keys : int array;  (** per-pid fresh-key counters *)
+}
+
+let catch_all = -1
+
+let msg_order a b = compare (a.delivery, a.seq) (b.delivery, b.seq)
+
+(* The inbox object of [dst]. "post" admits a message from ctx.pid: the
+   loss/latency decisions happen here, at the send's response step, off
+   the object rng — see the determinism contract in net.mli. "poll"
+   returns (and removes) the due messages for a demux key. *)
+let inbox_respond rt config events queues seq ~dst ctx =
+  match ctx.Shared.op with
+  | Value.Pair (Value.Str "post", Value.Pair (Value.Int key, payload)) ->
+    let src = ctx.Shared.pid in
+    let at = ctx.Shared.respond_step in
+    let jitter =
+      if config.jitter > 0 then Rng.int ctx.Shared.rng (config.jitter + 1)
+      else 0
+    in
+    let extra = extra_delay_in events ~at src dst in
+    let latency = max 1 (config.base_latency + jitter + extra) in
+    let rate = drop_rate_in events ~at src dst in
+    let lost =
+      (* fixed draw order: jitter above, then the loss draw *)
+      cut_in events ~at src dst
+      || (rate > 0. && Rng.bool ctx.Shared.rng rate)
+    in
+    if Runtime.telemetry_active rt then
+      Runtime.signal rt ~pid:src
+        (Sink.Message { src; dst; latency; dropped = lost });
+    if not lost then begin
+      incr seq;
+      queues.(dst) :=
+        { delivery = at + latency; seq = !seq; src; key; payload }
+        :: !(queues.(dst))
+    end;
+    Value.Unit
+  | Value.Pair (Value.Str "poll", Value.Int key) ->
+    let at = ctx.Shared.respond_step in
+    (* Remove everything due for this key or an older one; stale-key
+       messages (replies to operations that already completed) are
+       discarded, which is the queue's garbage collection. *)
+    let due, rest =
+      List.partition
+        (fun m -> m.delivery <= at && (key = catch_all || m.key <= key))
+        !(queues.(dst))
+    in
+    queues.(dst) := rest;
+    let due = List.filter (fun m -> key = catch_all || m.key = key) due in
+    let due = List.sort msg_order due in
+    Value.List
+      (List.map
+         (fun m ->
+           Value.Pair (Value.Int m.src, Value.Pair (Value.Int m.key, m.payload)))
+         due)
+  | _ -> Value.Fail
+
+let create rt ~config =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Net.create: " ^ msg));
+  let nodes = Runtime.n rt in
+  if config.replicas >= nodes then
+    invalid_arg "Net.create: replicas >= Runtime.n (no client pids left)";
+  let events = sorted_events config in
+  let queues = Array.init nodes (fun _ -> ref []) in
+  let seq = ref 0 in
+  let inboxes =
+    Array.init nodes (fun dst ->
+        Runtime.register_object rt
+          ~name:(Fmt.str "inbox[%d]" dst)
+          ~respond:(inbox_respond rt config events queues seq ~dst))
+  in
+  { rt; config; events; inboxes; queues; seq; keys = Array.make nodes 0 }
+
+let config t = t.config
+let n_clients t = Runtime.n t.rt - t.config.replicas
+let replica_pid t r = n_clients t + r
+
+let fresh_key t ~pid =
+  let k = t.keys.(pid) in
+  t.keys.(pid) <- k + 1;
+  k
+
+let send t ~dst ~key payload =
+  ignore
+    (Runtime.call t.inboxes.(dst)
+       (Value.Pair (Value.Str "post", Value.Pair (Value.Int key, payload))))
+
+let poll t ~key =
+  let me = Runtime.self () in
+  match
+    Runtime.call t.inboxes.(me) (Value.Pair (Value.Str "poll", Value.Int key))
+  with
+  | Value.List msgs ->
+    List.map
+      (fun m ->
+        match m with
+        | Value.Pair (Value.Int src, Value.Pair (Value.Int k, payload)) ->
+          (src, k, payload)
+        | _ -> assert false)
+      msgs
+  | _ -> assert false

@@ -1,8 +1,8 @@
 open Tbwf_registers
 
 type mesh = {
-  hb1 : int Abortable_reg.t option array array;
-  hb2 : int Abortable_reg.t option array array;
+  hb1 : int Reg.Abortable.t option array array;
+  hb2 : int Reg.Abortable.t option array array;
 }
 
 type t = {
@@ -20,11 +20,14 @@ type t = {
   active_set : bool array;
 }
 
-let registers rt ~policy ?write_effect ~n () =
+let registers ?factory rt ~policy ?write_effect ~n () =
+  let factory =
+    match factory with Some f -> f | None -> Reg.shared_factory rt
+  in
   let make tag p q =
-    Abortable_reg.create rt
+    factory.Reg.mk_areg
       ~name:(Fmt.str "Hb%s[%d->%d]" tag p q)
-      ~codec:Codec.int ~init:0 ~writer:p ~reader:q ~policy ?write_effect ()
+      ~codec:Codec.int ~init:0 ~writer:p ~reader:q ~policy ~write_effect
   in
   {
     hb1 =
@@ -61,8 +64,8 @@ let send t ~dest =
     if q <> t.me && dest.(q) then begin
       let r1 = Option.get t.mesh.hb1.(t.me).(q) in
       let r2 = Option.get t.mesh.hb2.(t.me).(q) in
-      let (_ : bool) = Abortable_reg.write r1 t.hb_send_counter in
-      let (_ : bool) = Abortable_reg.write r2 t.hb_send_counter in
+      let (_ : bool) = r1.Reg.Abortable.write t.hb_send_counter in
+      let (_ : bool) = r2.Reg.Abortable.write t.hb_send_counter in
       ()
     end
   done
@@ -75,8 +78,8 @@ let receive t =
         t.hb_timer.(q) <- t.hb_timeout.(q);
         t.prev_hb1.(q) <- t.cur_hb1.(q);
         t.prev_hb2.(q) <- t.cur_hb2.(q);
-        t.cur_hb1.(q) <- Abortable_reg.read (Option.get t.mesh.hb1.(q).(t.me));
-        t.cur_hb2.(q) <- Abortable_reg.read (Option.get t.mesh.hb2.(q).(t.me));
+        t.cur_hb1.(q) <- (Option.get t.mesh.hb1.(q).(t.me)).Reg.Abortable.read ();
+        t.cur_hb2.(q) <- (Option.get t.mesh.hb2.(q).(t.me)).Reg.Abortable.read ();
         let fresh cur prev =
           match cur with None -> true | Some _ -> cur <> prev
         in

@@ -16,13 +16,14 @@ type t
 (** Per-process heartbeat endpoint state. *)
 
 type mesh = {
-  hb1 : int Tbwf_registers.Abortable_reg.t option array array;
-  hb2 : int Tbwf_registers.Abortable_reg.t option array array;
+  hb1 : int Tbwf_registers.Reg.Abortable.t option array array;
+  hb2 : int Tbwf_registers.Reg.Abortable.t option array array;
       (** element [(p).(q)] is written by p and read by q; [None] on the
           diagonal *)
 }
 
 val registers :
+  ?factory:Tbwf_registers.Reg.factory ->
   Tbwf_sim.Runtime.t ->
   policy:Tbwf_registers.Abort_policy.t ->
   ?write_effect:Tbwf_registers.Abort_policy.write_effect ->

@@ -4,7 +4,7 @@ type payload = int * int
 
 type t = {
   me : int;
-  regs : payload Abortable_reg.t option array array;
+  regs : payload Reg.Abortable.t option array array;
   n : int;
   msg_curr : payload array;
   prev_write_done : bool array;
@@ -13,16 +13,19 @@ type t = {
   read_timeout : int array;
 }
 
-let registers rt ~policy ?write_effect ~n () =
+let registers ?factory rt ~policy ?write_effect ~n () =
+  let factory =
+    match factory with Some f -> f | None -> Reg.shared_factory rt
+  in
   Array.init n (fun p ->
       Array.init n (fun q ->
           if p = q then None
           else
             Some
-              (Abortable_reg.create rt
+              (factory.Reg.mk_areg
                  ~name:(Fmt.str "Msg[%d->%d]" p q)
                  ~codec:(Codec.pair Codec.int Codec.int)
-                 ~init:(0, 0) ~writer:p ~reader:q ~policy ?write_effect ())))
+                 ~init:(0, 0) ~writer:p ~reader:q ~policy ~write_effect)))
 
 let create ~me ~registers =
   let n = Array.length registers in
@@ -43,7 +46,7 @@ let write_msgs t msg_to =
       if (not t.prev_write_done.(q)) || t.msg_curr.(q) <> msg_to.(q) then begin
         if t.prev_write_done.(q) then t.msg_curr.(q) <- msg_to.(q);
         let reg = Option.get t.regs.(t.me).(q) in
-        t.prev_write_done.(q) <- Abortable_reg.write reg t.msg_curr.(q)
+        t.prev_write_done.(q) <- reg.Reg.Abortable.write t.msg_curr.(q)
       end
   done;
   t.prev_write_done
@@ -55,7 +58,7 @@ let read_msgs t =
       if t.read_timer.(q) = 0 then begin
         t.read_timer.(q) <- t.read_timeout.(q);
         let reg = Option.get t.regs.(q).(t.me) in
-        match Abortable_reg.read reg with
+        match reg.Reg.Abortable.read () with
         | None -> t.read_timeout.(q) <- t.read_timeout.(q) + 1
         | Some v when v = t.prev_msg_from.(q) ->
           t.read_timeout.(q) <- t.read_timeout.(q) + 1

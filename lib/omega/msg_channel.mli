@@ -19,17 +19,20 @@ type t
 (** Per-process channel endpoint state (both writer and reader sides). *)
 
 val registers :
+  ?factory:Tbwf_registers.Reg.factory ->
   Tbwf_sim.Runtime.t ->
   policy:Tbwf_registers.Abort_policy.t ->
   ?write_effect:Tbwf_registers.Abort_policy.write_effect ->
   n:int ->
   unit ->
-  payload Tbwf_registers.Abortable_reg.t option array array
+  payload Tbwf_registers.Reg.Abortable.t option array array
 (** [registers rt ~policy ~n ()] creates the full mesh: element [(p).(q)]
     is MsgRegister[p,q] (written by p, read by q); [None] on the diagonal. *)
 
 val create :
-  me:int -> registers:payload Tbwf_registers.Abortable_reg.t option array array -> t
+  me:int ->
+  registers:payload Tbwf_registers.Reg.Abortable.t option array array ->
+  t
 (** Fresh per-process state for process [me] over a shared register mesh. *)
 
 val write_msgs : t -> payload array -> bool array

@@ -3,7 +3,7 @@ open Tbwf_sim
 type t = {
   handles : Omega_spec.handle array;
   msg_registers :
-    Msg_channel.payload Tbwf_registers.Abortable_reg.t option array array;
+    Msg_channel.payload Tbwf_registers.Reg.Abortable.t option array array;
   hb_mesh : Heartbeat.mesh;
 }
 
@@ -59,10 +59,12 @@ let omega_loop rt t p n =
     done
   done
 
-let install rt ~policy ?write_effect () =
-  let n = Runtime.n rt in
-  let msg_registers = Msg_channel.registers rt ~policy ?write_effect ~n () in
-  let hb_mesh = Heartbeat.registers rt ~policy ?write_effect ~n () in
+let install ?factory ?n rt ~policy ?write_effect () =
+  let n = match n with Some n -> n | None -> Runtime.n rt in
+  let msg_registers =
+    Msg_channel.registers ?factory rt ~policy ?write_effect ~n ()
+  in
+  let hb_mesh = Heartbeat.registers ?factory rt ~policy ?write_effect ~n () in
   let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
   let t = { handles; msg_registers; hb_mesh } in
   for p = 0 to n - 1 do

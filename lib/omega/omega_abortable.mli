@@ -21,11 +21,13 @@
 type t = {
   handles : Omega_spec.handle array;
   msg_registers :
-    Msg_channel.payload Tbwf_registers.Abortable_reg.t option array array;
+    Msg_channel.payload Tbwf_registers.Reg.Abortable.t option array array;
   hb_mesh : Heartbeat.mesh;
 }
 
 val install :
+  ?factory:Tbwf_registers.Reg.factory ->
+  ?n:int ->
   Tbwf_sim.Runtime.t ->
   policy:Tbwf_registers.Abort_policy.t ->
   ?write_effect:Tbwf_registers.Abort_policy.write_effect ->
@@ -33,4 +35,6 @@ val install :
   t
 (** Create all abortable registers (3 per ordered pair of processes) and
     spawn each process's Ω∆ main task. [policy] governs when concurrent
-    register operations abort. *)
+    register operations abort. [factory] selects the register substrate
+    and [n] restricts the election to processes 0..n-1, as in
+    {!Omega_registers.install}. *)

@@ -5,7 +5,7 @@ open Tbwf_monitor
 type t = {
   handles : Omega_spec.handle array;
   monitors : Activity_monitor.t option array array;
-  counter_registers : int Atomic_reg.t array;
+  counters : int Reg.t array;
 }
 
 (* Figure 3, main code for process p. *)
@@ -26,8 +26,8 @@ let omega_loop ~self_punishment rt t p n =
     Runtime.await (fun () -> !(handle.Omega_spec.candidate));
     List.iter (fun q -> (monitor q).Activity_monitor.monitoring := true) others;
     if self_punishment then begin
-      counter.(p) <- Atomic_reg.read t.counter_registers.(p);
-      Atomic_reg.write t.counter_registers.(p) (counter.(p) + 1)
+      counter.(p) <- t.counters.(p).Reg.read ();
+      t.counters.(p).Reg.write (counter.(p) + 1)
     end;
     while !(handle.Omega_spec.candidate) do
       (* Consult each activity monitor until it offers an estimate. *)
@@ -44,7 +44,7 @@ let omega_loop ~self_punishment rt t p n =
         others;
       status.(p) <- Activity_monitor.Active;
       for q = 0 to n - 1 do
-        counter.(q) <- Atomic_reg.read t.counter_registers.(q)
+        counter.(q) <- t.counters.(q).Reg.read ()
       done;
       (* leader := ℓ with (counter ℓ, ℓ) minimal over the active set. *)
       let leader = ref p in
@@ -61,27 +61,32 @@ let omega_loop ~self_punishment rt t p n =
       List.iter
         (fun q ->
           if fault_cntr.(q) > max_fault_cntr.(q) then begin
-            Atomic_reg.write t.counter_registers.(q) (counter.(q) + 1);
+            t.counters.(q).Reg.write (counter.(q) + 1);
             max_fault_cntr.(q) <- fault_cntr.(q)
           end)
         others
     done
   done
 
-let install ?(self_punishment = true) rt =
-  let n = Runtime.n rt in
+let install ?(self_punishment = true) ?factory ?n rt =
+  let n = match n with Some n -> n | None -> Runtime.n rt in
+  let factory =
+    match factory with Some f -> f | None -> Reg.shared_factory rt
+  in
   let monitors =
     Array.init n (fun p ->
         Array.init n (fun q ->
-            if p = q then None else Some (Activity_monitor.install rt ~p ~q)))
+            if p = q then None
+            else Some (Activity_monitor.install ~factory rt ~p ~q)))
   in
-  let counter_registers =
+  let counters =
     Array.init n (fun q ->
-        Atomic_reg.create rt ~name:(Fmt.str "Counter[%d]" q) ~codec:Codec.int
-          ~init:0)
+        factory.Reg.mk_reg ~kind:Reg.Mwmr
+          ~name:(Fmt.str "Counter[%d]" q)
+          ~codec:Codec.int ~init:0)
   in
   let handles = Array.init n (fun pid -> Omega_spec.make_handle ~pid) in
-  let t = { handles; monitors; counter_registers } in
+  let t = { handles; monitors; counters } in
   for p = 0 to n - 1 do
     Runtime.spawn ~layer:Sink.Omega rt ~pid:p ~name:(Fmt.str "omega[%d]" p)
       (fun () -> omega_loop ~self_punishment rt t p n)

@@ -17,11 +17,17 @@ type t = {
   handles : Omega_spec.handle array;  (** indexed by pid *)
   monitors : Tbwf_monitor.Activity_monitor.t option array array;
       (** [monitors.(p).(q)] is A(p,q); [None] on the diagonal *)
-  counter_registers : int Tbwf_registers.Atomic_reg.t array;
-      (** [CounterRegister[q]], multi-writer atomic *)
+  counters : int Tbwf_registers.Reg.t array;
+      (** [CounterRegister[q]], multi-writer atomic (a handle: backed by a
+          shared object or by the ABD emulation, per the wiring factory) *)
 }
 
-val install : ?self_punishment:bool -> Tbwf_sim.Runtime.t -> t
+val install :
+  ?self_punishment:bool ->
+  ?factory:Tbwf_registers.Reg.factory ->
+  ?n:int ->
+  Tbwf_sim.Runtime.t ->
+  t
 (** Create the full monitor mesh and counter registers, and spawn each
     process's Ω∆ main task. Every process starts as a non-candidate.
 
@@ -29,4 +35,10 @@ val install : ?self_punishment:bool -> Tbwf_sim.Runtime.t -> t
     process increments its own counter every time it (re)joins the
     competition. Disabling it is the ablation of experiment E11 — the
     paper notes that without it a repeatedly-joining process with the
-    smallest counter makes leadership oscillate forever. *)
+    smallest counter makes leadership oscillate forever.
+
+    [factory] selects the register substrate (default:
+    {!Tbwf_registers.Reg.shared_factory}); [n] restricts the election to
+    processes 0..n-1 (default: all of the runtime's processes — pass it
+    when the runtime also hosts replica server pids that take no part in
+    the election). *)

@@ -1,0 +1,89 @@
+(* First-class register handles and register factories. See reg.mli. *)
+
+type 'a t = {
+  name : string;
+  read : unit -> 'a;
+  write : 'a -> unit;
+  peek : unit -> 'a;
+  obj : Tbwf_sim.Shared.t option;
+  enc : 'a -> Tbwf_sim.Value.t;
+  dec : Tbwf_sim.Value.t -> 'a;
+}
+
+let obj_exn h =
+  match h.obj with
+  | Some obj -> obj
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Reg.obj_exn: %s is a message-passing register" h.name)
+
+module Abortable = struct
+  type 'a t = {
+    name : string;
+    read : unit -> 'a option;
+    write : 'a -> bool;
+    peek : unit -> 'a;
+    obj : Tbwf_sim.Shared.t option;
+    enc : 'a -> Tbwf_sim.Value.t;
+    dec : Tbwf_sim.Value.t -> 'a;
+  }
+
+  let obj_exn h =
+    match h.obj with
+    | Some obj -> obj
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Reg.Abortable.obj_exn: %s is a message-passing \
+                         register" h.name)
+end
+
+type kind = Mwmr | Swmr of { writer : int }
+
+type factory = {
+  mk_reg :
+    'a. kind:kind -> name:string -> codec:'a Codec.t -> init:'a -> 'a t;
+  mk_areg :
+    'a.
+    name:string ->
+    codec:'a Codec.t ->
+    init:'a ->
+    writer:int ->
+    reader:int ->
+    policy:Abort_policy.t ->
+    write_effect:Abort_policy.write_effect option ->
+    'a Abortable.t;
+}
+
+let of_atomic reg =
+  {
+    name = Atomic_reg.name reg;
+    read = (fun () -> Atomic_reg.read reg);
+    write = (fun v -> Atomic_reg.write reg v);
+    peek = (fun () -> Atomic_reg.peek reg);
+    obj = Some (Atomic_reg.shared reg);
+    enc = Atomic_reg.encode reg;
+    dec = Atomic_reg.decode reg;
+  }
+
+let of_abortable reg =
+  {
+    Abortable.name = Abortable_reg.name reg;
+    read = (fun () -> Abortable_reg.read reg);
+    write = (fun v -> Abortable_reg.write reg v);
+    peek = (fun () -> Abortable_reg.peek reg);
+    obj = Some (Abortable_reg.shared reg);
+    enc = Abortable_reg.encode reg;
+    dec = Abortable_reg.decode reg;
+  }
+
+let shared_factory rt =
+  {
+    mk_reg =
+      (fun ~kind:_ ~name ~codec ~init ->
+        of_atomic (Atomic_reg.create rt ~name ~codec ~init));
+    mk_areg =
+      (fun ~name ~codec ~init ~writer ~reader ~policy ~write_effect ->
+        of_abortable
+          (Abortable_reg.create rt ~name ~codec ~init ~writer ~reader ~policy
+             ?write_effect ()));
+  }

@@ -35,6 +35,11 @@ type signal =
           full [Tbwf.invoke] round trip, not an individual register call
           — emitted by [Workload], so it counts exactly what
           [Workload.stats.completed] counts) *)
+  | Message of { src : int; dst : int; latency : int; dropped : bool }
+      (** the simulated network accepted a message from [src] to [dst];
+          [latency] is the assigned delivery delay in steps, and
+          [dropped] is true when the message was cut by a partition or a
+          loss draw (then [latency] is the would-have-been delay) *)
 
 type t = {
   active : bool;

@@ -95,13 +95,13 @@ let pp_registry fmt () =
    non-test consumer routes stack construction through this module, so a
    grep for the raw installers outside [lib/system] finds only tests. *)
 
-let install_atomic ?self_punishment rt =
-  Omega_registers.install ?self_punishment rt
+let install_atomic ?self_punishment ?factory ?n rt =
+  Omega_registers.install ?self_punishment ?factory ?n rt
 
-let install_abortable rt ~policy ?write_effect () =
-  Omega_abortable.install rt ~policy ?write_effect ()
+let install_abortable ?factory ?n rt ~policy ?write_effect () =
+  Omega_abortable.install ?factory ?n rt ~policy ?write_effect ()
 
-let install_naive rt = Baselines.Naive_booster.install rt
+let install_naive ?factory ?n rt = Baselines.Naive_booster.install ?factory ?n rt
 
 let create_qa ?(universal = false) rt ~name ~spec ~policy ?effect_on_abort () =
   if universal then
@@ -110,10 +110,19 @@ let create_qa ?(universal = false) rt ~name ~spec ~policy ?effect_on_abort () =
 
 (* --- building a full stack ----------------------------------------------- *)
 
+type substrate = Shared_memory | Message_passing of Tbwf_net.Net.config
+
+let substrate_name = function
+  | Shared_memory -> "shared-memory"
+  | Message_passing _ -> "message-passing"
+
 type stack = {
   system : id;
   backend : Backend.t;
+  substrate : substrate;
   rt : Runtime.t;
+  net : Tbwf_net.Net.t option;
+  cluster : Mp_reg.Cluster.t option;
   handles : Omega_spec.handle array;
   qa : Qa_intf.t;
   tbwf : Tbwf.t option;
@@ -126,12 +135,28 @@ let default_qa_universal = function
   | Tbwf_universal -> true
   | Tbwf_atomic | Tbwf_abortable | Naive_booster | Retry -> false
 
-let build ?(backend = Backend.Reference) ?seed ?(canonical = true)
-    ?(qa_policy = Abort_policy.Always) ?(mesh_policy = Abort_policy.Always)
-    ?qa_universal ?(spec = Counter.spec)
+let build ?(backend = Backend.Reference) ?(substrate = Shared_memory) ?seed
+    ?(canonical = true) ?(qa_policy = Abort_policy.Always)
+    ?(mesh_policy = Abort_policy.Always) ?qa_universal ?(spec = Counter.spec)
     ?(next_op = Workload.forever Counter.inc) ?client_pids
     ?(telemetry = false) ?telemetry_window ~n id =
-  let rt = Runtime.create ?seed ~n () in
+  (match backend, substrate with
+  | Backend.Compiled, Message_passing _ ->
+    (* The compiled machines talk to register objects through direct
+       Shared.t handles; the quorum emulation has none. Rejecting here
+       keeps the two backends byte-identical wherever both exist, rather
+       than letting them silently diverge. *)
+    invalid_arg
+      "System.build: the compiled backend requires the shared-memory substrate"
+  | (Backend.Reference | Backend.Compiled), _ -> ());
+  let rt =
+    match substrate with
+    | Shared_memory -> Runtime.create ?seed ~n ()
+    | Message_passing config ->
+      (* Replica server pids ride after the n clients, inside the same
+         deterministic scheduler. *)
+      Runtime.create ?seed ~n:(n + config.Tbwf_net.Net.replicas) ()
+  in
   (* The collector only installs a sink; attaching before the stack is
      wired records nothing and keeps the trace identical, while covering
      the wiring itself once spans start flowing. *)
@@ -139,6 +164,17 @@ let build ?(backend = Backend.Reference) ?seed ?(canonical = true)
     if telemetry then
       Some (Tbwf_telemetry.Collector.attach ?window:telemetry_window rt)
     else None
+  in
+  (* Network and replica cluster come up before the Ω∆ so that inbox and
+     replica wiring claims its object ids and pids first — part of the
+     message-passing determinism contract. *)
+  let net, cluster, factory =
+    match substrate with
+    | Shared_memory -> None, None, None
+    | Message_passing config ->
+      let net = Tbwf_net.Net.create rt ~config in
+      let cluster = Mp_reg.Cluster.create rt ~net in
+      Some net, Some cluster, Some (Mp_reg.factory cluster)
   in
   (* Both backends create objects and spawn tasks at the same wiring
      points, in the same order — what differs is only whether the spawned
@@ -148,18 +184,19 @@ let build ?(backend = Backend.Reference) ?seed ?(canonical = true)
   let handles =
     match backend, id with
     | Backend.Reference, Tbwf_atomic ->
-      (install_atomic rt).Omega_registers.handles
+      (install_atomic ?factory ~n rt).Omega_registers.handles
     | Backend.Compiled, Tbwf_atomic ->
       (Tbwf_compiled.Omega_atomic_compiled.install rt)
         .Omega_registers.handles
     | Backend.Reference, (Tbwf_abortable | Tbwf_universal) ->
-      (install_abortable rt ~policy:mesh_policy ()).Omega_abortable.handles
+      (install_abortable ?factory ~n rt ~policy:mesh_policy ())
+        .Omega_abortable.handles
     | Backend.Compiled, (Tbwf_abortable | Tbwf_universal) ->
       (Tbwf_compiled.Omega_abortable_compiled.install rt ~policy:mesh_policy
          ())
         .Omega_abortable.handles
     | Backend.Reference, Naive_booster ->
-      (install_naive rt).Baselines.Naive_booster.handles
+      (install_naive ?factory ~n rt).Baselines.Naive_booster.handles
     | Backend.Compiled, Naive_booster ->
       (Tbwf_compiled.Naive_compiled.install rt).Baselines.Naive_booster.handles
     | _, Retry -> [||]
@@ -200,7 +237,10 @@ let build ?(backend = Backend.Reference) ?seed ?(canonical = true)
   {
     system = id;
     backend;
+    substrate;
     rt;
+    net;
+    cluster;
     handles;
     qa;
     tbwf;

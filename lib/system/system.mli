@@ -67,11 +67,19 @@ val pp_registry : Format.formatter -> unit -> unit
     that measure the internals rather than the client interface. *)
 
 val install_atomic :
-  ?self_punishment:bool -> Runtime.t -> Omega_registers.t
+  ?self_punishment:bool ->
+  ?factory:Reg.factory ->
+  ?n:int ->
+  Runtime.t ->
+  Omega_registers.t
 (** The Figure 3 Ω∆ over activity monitors and atomic registers.
-    [self_punishment] (default true) is the E11 ablation switch. *)
+    [self_punishment] (default true) is the E11 ablation switch.
+    [factory]/[n] select the register substrate and restrict the election
+    (see {!Omega_registers.install}). *)
 
 val install_abortable :
+  ?factory:Reg.factory ->
+  ?n:int ->
   Runtime.t ->
   policy:Abort_policy.t ->
   ?write_effect:Abort_policy.write_effect ->
@@ -80,7 +88,8 @@ val install_abortable :
 (** The Figure 6 Ω∆ over abortable registers; [policy] governs when
     concurrent register operations abort. *)
 
-val install_naive : Runtime.t -> Baselines.Naive_booster.t
+val install_naive :
+  ?factory:Reg.factory -> ?n:int -> Runtime.t -> Baselines.Naive_booster.t
 (** The non-gracefully-degrading booster baseline. *)
 
 val create_qa :
@@ -97,12 +106,39 @@ val create_qa :
 
 (** {2 Building a full stack} *)
 
+(** What the stack's registers are made of.
+
+    [Shared_memory] is the paper's model: registers are simulator shared
+    objects with intrinsic timeliness. [Message_passing config] replaces
+    every register the Ω∆ uses with an emulation over a simulated
+    crash-prone network ({!Tbwf_net.Net}): atomic MWMR registers by the
+    ABD quorum protocol, SWMR regular registers by the one-phase
+    time-efficient protocol, served by [config.replicas] replica
+    processes appended after the [n] clients. Register timeliness then
+    becomes {e emergent} — a function of link timeliness to a live
+    replica majority.
+
+    The query-abortable object itself stays a shared simulator object on
+    both substrates: QA has consensus number > 1, so it cannot be built
+    from message-passing registers alone — the substrate axis moves
+    exactly the part of the stack the paper builds from registers. *)
+type substrate = Shared_memory | Message_passing of Tbwf_net.Net.config
+
+val substrate_name : substrate -> string
+(** ["shared-memory"] / ["message-passing"] — the CLI identifiers. *)
+
 type stack = {
   system : id;
   backend : Backend.t;
       (** which backend executes the stack's tasks; identical observable
           behaviour either way (see {!Backend}) *)
+  substrate : substrate;
   rt : Runtime.t;
+  net : Tbwf_net.Net.t option;
+      (** the simulated network; [None] on shared memory *)
+  cluster : Mp_reg.Cluster.t option;
+      (** the replica cluster serving the registers; [None] on shared
+          memory *)
   handles : Omega_spec.handle array;
       (** Ω∆ output handles, indexed by pid; [[||]] for {!Retry} *)
   qa : Qa_intf.t;
@@ -116,6 +152,7 @@ type stack = {
 
 val build :
   ?backend:Backend.t ->
+  ?substrate:substrate ->
   ?seed:int64 ->
   ?canonical:bool ->
   ?qa_policy:Abort_policy.t ->
@@ -141,9 +178,19 @@ val build :
     [next_op] an endless stream of increments, [client_pids] all pids,
     [telemetry:false].
 
-    Wiring order (runtime, collector, Ω∆, QA, transformation, workload) is
-    part of the determinism contract: it fixes the object-id assignment
-    and hence the trace fingerprint for a given (seed, policy, code).
+    [substrate] (default {!Shared_memory}) selects what registers are
+    made of; with [Message_passing config] the runtime is created
+    [n + config.replicas] processes wide, the network and replica cluster
+    are wired between the collector and the Ω∆, and the Ω∆ installs with
+    the quorum-register factory restricted to the [n] client pids. Raises
+    [Invalid_argument] when combined with the compiled backend — the
+    machines need direct [Shared.t] handles, which quorum registers do
+    not have.
+
+    Wiring order (runtime, collector, [network, cluster,] Ω∆, QA,
+    transformation, workload) is part of the determinism contract: it
+    fixes the object-id assignment and hence the trace fingerprint for a
+    given (seed, policy, code).
 
     [backend] (default {!Backend.Reference}) selects how the stack's tasks
     execute: effect coroutines, or the compiled machines of

@@ -44,6 +44,9 @@ type t = {
   mutable suspicion_flips : int;
   suspected_counts : int array;  (* times pid became suspected by someone *)
   mutable crashes : (int * int) list;  (* (step, pid), reverse *)
+  mutable net_sent : int;  (* messages admitted by the simulated network *)
+  mutable net_dropped : int;  (* of which lost (partition cut or loss draw) *)
+  net_latency : Hist.t;  (* assigned one-way delays of delivered messages *)
 }
 
 let create ?(window = 1024) ~n () =
@@ -71,6 +74,9 @@ let create ?(window = 1024) ~n () =
     suspicion_flips = 0;
     suspected_counts = Array.make n 0;
     crashes = [];
+    net_sent = 0;
+    net_dropped = 0;
+    net_latency = Hist.create ();
   }
 
 let on_step t ~step ~pid ~layer =
@@ -127,6 +133,10 @@ let on_signal t ~step ~pid signal =
       t.app_completed.(pid) <- t.app_completed.(pid) + 1;
       Series.bump t.app_ops ~pid ~step
     end
+  | Sink.Message { src = _; dst = _; latency; dropped } ->
+    t.net_sent <- t.net_sent + 1;
+    if dropped then t.net_dropped <- t.net_dropped + 1
+    else Hist.observe t.net_latency latency
 
 let sink t =
   {
@@ -208,6 +218,9 @@ let merge a b =
     suspected_counts = sum_arrays a.suspected_counts b.suspected_counts;
     crashes =
       List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes));
+    net_sent = a.net_sent + b.net_sent;
+    net_dropped = a.net_dropped + b.net_dropped;
+    net_latency = Hist.merge a.net_latency b.net_latency;
   }
 
 let merge_all = function
@@ -233,6 +246,9 @@ let handoffs t = List.rev t.handoffs
 let suspicion_flips t = t.suspicion_flips
 let crashes t = List.rev t.crashes
 let register_abort_decisions t = t.register_abort_decisions
+let net_sent t = t.net_sent
+let net_dropped t = t.net_dropped
+let net_latency t = t.net_latency
 
 (* Leader (by self-announcement) in effect at the end of each window,
    [None] before the first handoff — the timeline CLI's leader row. *)
@@ -324,6 +340,13 @@ let snapshot t =
              (fun (step, pid) ->
                Json.Obj [ "step", Json.Int step; "pid", Json.Int pid ])
              t.crashes) );
+      ( "net",
+        Json.Obj
+          [
+            "sent", Json.Int t.net_sent;
+            "dropped", Json.Int t.net_dropped;
+            "latency", Hist.to_json t.net_latency;
+          ] );
       "custom", Metrics.to_json t.registry;
     ]
 
@@ -348,6 +371,9 @@ let pp_summary fmt t =
     t.leader_changes;
   Fmt.pf fmt "suspicion    %d flips@." t.suspicion_flips;
   Fmt.pf fmt "reg aborts   %d decisions@." t.register_abort_decisions;
+  if t.net_sent > 0 then
+    Fmt.pf fmt "net          %d msgs, %d dropped, latency %a@." t.net_sent
+      t.net_dropped Hist.pp t.net_latency;
   match List.rev t.crashes with
   | [] -> ()
   | crashes ->

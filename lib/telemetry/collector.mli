@@ -87,6 +87,16 @@ val crashes : t -> (int * int) list
 
 val register_abort_decisions : t -> int
 
+val net_sent : t -> int
+(** Messages admitted by the simulated network ({!Tbwf_sim.Sink.Message}
+    signals); 0 on shared-memory runs. *)
+
+val net_dropped : t -> int
+(** Of {!net_sent}, how many were lost (partition cut or loss draw). *)
+
+val net_latency : t -> Hist.t
+(** Assigned one-way delays of the delivered messages, in steps. *)
+
 (** {2 Output} *)
 
 val schema_version : string

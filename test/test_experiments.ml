@@ -166,14 +166,33 @@ let test_e16 () =
         row.E16_nemesis.cells)
     r.E16_nemesis.rows
 
+let test_e17 () =
+  let r = E17_network.compute ~quick:true () in
+  Alcotest.(check bool) "network degradation matrix fully as predicted" true
+    r.E17_network.all_ok;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (system, cell) ->
+          let expect_holds =
+            List.mem system Tbwf_nemesis.Campaign.paper_systems
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s verdict"
+               row.E17_network.campaign
+               (Tbwf_nemesis.Campaign.system_name system))
+            expect_holds cell.E17_network.holds)
+        row.E17_network.cells)
+    r.E17_network.rows
+
 let test_registry_complete () =
-  Alcotest.(check int) "sixteen experiments registered" 16
+  Alcotest.(check int) "seventeen experiments registered" 17
     (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) (Fmt.str "%s findable" id) true
         (Registry.find id <> None))
-    [ "E1"; "e1"; "E5"; "E15"; "E16" ];
+    [ "E1"; "e1"; "E5"; "E15"; "E16"; "E17" ];
   Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
 
 let () =
@@ -197,6 +216,7 @@ let () =
           Alcotest.test_case "E14 GST" `Slow test_e14;
           Alcotest.test_case "E15 exploration" `Slow test_e15;
           Alcotest.test_case "E16 nemesis matrix" `Slow test_e16;
+          Alcotest.test_case "E17 network matrix" `Slow test_e17;
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
         ] );
     ]

@@ -66,6 +66,163 @@ let test_prediction () =
   Alcotest.(check int) "settles at the last fault" 7_500
     (Fault_plan.settle_step kitchen_sink)
 
+(* --- tbwf-plan v2: network atoms, replicas, forward compatibility --- *)
+
+(* One atom of every v2 kind, node fields in both Some/None and
+   client/replica flavours, plus an unknown future kind. *)
+let net_kitchen_sink =
+  Fault_plan.make ~replicas:3 ~n:4 ~horizon:10_000
+    [
+      Fault_plan.Slow { pid = 0; at = 0; gap = 60; growth = 1.15 };
+      Fault_plan.Partition
+        { at = 2_000; side = [ Fault_plan.Client 1; Fault_plan.Replica 2 ] };
+      Fault_plan.Heal { at = 4_000 };
+      Fault_plan.Delay_ramp
+        { from = 1_000; until = 6_000; extra0 = 0.0; extra1 = 8.0;
+          node = None };
+      Fault_plan.Delay_ramp
+        { from = 2_000; until = 7_000; extra0 = 1.0; extra1 = 3.0;
+          node = Some (Fault_plan.Replica 1) };
+      Fault_plan.Drop
+        { from = 3_000; until = 8_000; rate0 = 0.25; rate1 = 0.75;
+          node = Some (Fault_plan.Client 0) };
+      Fault_plan.Crash_replica { r = 2; at = 7_000 };
+      Fault_plan.Unknown { line = "quantum-foam pid=0 at=9000" };
+    ]
+
+let test_v2_round_trip () =
+  let text = Fault_plan.to_string net_kitchen_sink in
+  Alcotest.(check bool) "serializes under the v2 header" true
+    (String.length text > 13 && String.equal (String.sub text 0 13)
+       "tbwf-plan v2 ");
+  match Fault_plan.of_string text with
+  | Error msg -> Alcotest.failf "net kitchen sink failed to parse: %s" msg
+  | Ok plan ->
+    Alcotest.(check bool) "round-trips exactly" true
+      (Fault_plan.equal net_kitchen_sink plan);
+    Alcotest.(check string) "second serialization identical" text
+      (Fault_plan.to_string plan)
+
+(* Growing the format must not disturb committed v1 plans: a plan with
+   only v1 atoms and no replicas still serializes byte-for-byte under the
+   v1 header, with no replicas= field. *)
+let test_v1_header_stable () =
+  let text = Fault_plan.to_string kitchen_sink in
+  Alcotest.(check bool) "v1 header" true
+    (String.equal (String.sub text 0 13) "tbwf-plan v1 ");
+  Alcotest.(check bool) "no replicas field" true
+    (not
+       (List.exists
+          (fun line ->
+            String.length line >= 9 && String.sub line 0 9 = "replicas=")
+          (String.split_on_char ' ' (List.hd (String.split_on_char '\n' text)))))
+
+let test_unknown_kind_versioned () =
+  let body = "quantum-foam pid=0 at=9000\n" in
+  (match
+     Fault_plan.of_string ("tbwf-plan v2 n=2 horizon=100 replicas=3\n" ^ body)
+   with
+  | Error msg -> Alcotest.failf "v2 rejected an unknown kind: %s" msg
+  | Ok plan ->
+    Alcotest.(check bool) "preserved verbatim" true
+      (Fault_plan.atoms plan
+      = [ Fault_plan.Unknown { line = "quantum-foam pid=0 at=9000" } ]));
+  match Fault_plan.of_string ("tbwf-plan v1 n=2 horizon=100\n" ^ body) with
+  | Ok _ -> Alcotest.fail "v1 accepted an unknown kind"
+  | Error _ -> ()
+
+let test_emergent_prediction () =
+  (* Client 1 partitioned away from every replica, persistently: it is
+     emergently untimely; the others reach all three replicas. *)
+  let plan =
+    Fault_plan.make ~replicas:3 ~n:3 ~horizon:10_000
+      [ Fault_plan.Partition { at = 5_000; side = [ Fault_plan.Client 1 ] } ]
+  in
+  match Fault_plan.emergent plan with
+  | None -> Alcotest.fail "replicated plan has no emergent structure"
+  | Some em ->
+    let open Tbwf_check.Degradation in
+    Alcotest.(check (list int)) "all replicas live" [ 0; 1; 2 ] em.em_live;
+    Alcotest.(check bool) "cut client not quorate" false
+      (emergent_quorate em 1);
+    Alcotest.(check bool) "mainland client quorate" true
+      (emergent_quorate em 0);
+    (* A heal after the cut restores everyone. *)
+    let healed =
+      Fault_plan.make ~replicas:3 ~n:3 ~horizon:10_000
+        [
+          Fault_plan.Partition { at = 5_000; side = [ Fault_plan.Client 1 ] };
+          Fault_plan.Heal { at = 6_000 };
+        ]
+    in
+    (match Fault_plan.emergent healed with
+    | None -> Alcotest.fail "healed plan has no emergent structure"
+    | Some em ->
+      Alcotest.(check bool) "healed client quorate again" true
+        (emergent_quorate em 1));
+    (* Crashing a minority leaves everyone quorate; the events compile. *)
+    let crashed =
+      Fault_plan.make ~replicas:3 ~n:3 ~horizon:10_000
+        [ Fault_plan.Crash_replica { r = 0; at = 100 } ]
+    in
+    (match Fault_plan.emergent crashed with
+    | None -> Alcotest.fail "crashed plan has no emergent structure"
+    | Some em ->
+      Alcotest.(check (list int)) "minority crash leaves a live majority"
+        [ 1; 2 ] em.em_live;
+      Alcotest.(check bool) "clients still quorate" true
+        (emergent_quorate em 0));
+    Alcotest.(check int) "network atoms compile to events" 3
+      (List.length (Fault_plan.net_events plan)
+      + List.length (Fault_plan.net_events healed))
+
+let qcheck_gen_v2_round_trip =
+  QCheck.Test.make
+    ~name:"generated replicated plans round-trip through text" ~count:200
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let plan = Fault_plan.gen ~replicas:3 rng ~n:4 ~horizon:8_000 in
+      match Fault_plan.of_string (Fault_plan.to_string plan) with
+      | Error _ -> false
+      | Ok plan' -> Fault_plan.equal plan plan')
+
+(* Satellite: shrinking must carry atom kinds it does not understand
+   through both ddmin and the text round-trip the CLI applies to every
+   candidate, instead of silently dropping them. The fails predicate only
+   accepts plans that still contain the planted future atom after a
+   serialize/parse cycle — if shrinking dropped or mangled it, no
+   candidate would fail and the shrinker would return the plan unshrunk
+   with the atom gone. *)
+let test_shrink_preserves_unknown_atoms () =
+  let planted = "quantum-foam pid=0 at=9000" in
+  let plan =
+    Fault_plan.make ~replicas:3 ~n:4 ~horizon:10_000
+      [
+        Fault_plan.Crash { pid = 3; at = 7_000 };
+        Fault_plan.Slow { pid = 0; at = 0; gap = 60; growth = 1.15 };
+        Fault_plan.Unknown { line = planted };
+        Fault_plan.Heal { at = 4_000 };
+      ]
+  in
+  let has_unknown p =
+    List.mem (Fault_plan.Unknown { line = planted }) (Fault_plan.atoms p)
+  in
+  let fails p =
+    match Fault_plan.of_string (Fault_plan.to_string p) with
+    | Error _ -> false
+    | Ok p' -> has_unknown p'
+  in
+  let shrunk = Fault_plan.shrink ~fails plan in
+  Alcotest.(check bool) "unknown atom survives shrinking" true
+    (has_unknown shrunk);
+  Alcotest.(check int) "shrunk to the single load-bearing atom" 1
+    (List.length (Fault_plan.atoms shrunk));
+  Alcotest.(check string) "re-serializes verbatim"
+    (Fault_plan.to_string shrunk)
+    (Fault_plan.to_string
+       (Result.get_ok (Fault_plan.of_string (Fault_plan.to_string shrunk))))
+
 let qcheck_gen_round_trip =
   QCheck.Test.make ~name:"generated plans round-trip through text" ~count:200
     QCheck.(int_range 1 100_000)
@@ -193,6 +350,42 @@ let test_catalogue_covers_every_atom () =
            Campaign.baseline_systems))
     Campaign.catalogue
 
+(* The message-passing axis end-to-end: the client-cut campaign over the
+   ABD substrate. The paper system must hold its verdict with the cut
+   client exempted by emergent untimeliness (it cannot reach a live
+   replica majority, so no guarantee is in force for it) while every
+   mainland client keeps the timely+quorate guarantee. *)
+let test_campaign_mp_smoke () =
+  match Campaign.find "net-client-cut" with
+  | None -> Alcotest.fail "net-client-cut campaign missing"
+  | Some c ->
+    let n, horizon = Campaign.dimensions ~quick:true in
+    let substrate =
+      Tbwf_system.System.Message_passing Tbwf_net.Net.default_config
+    in
+    let plan = Campaign.plan c ~n ~horizon in
+    let r =
+      Campaign.run_plan ~substrate ~plan ~system:Campaign.Tbwf_atomic ()
+    in
+    let v = r.Campaign.rr_verdict in
+    Alcotest.(check bool) "tbwf-atomic holds over message passing" true
+      v.Tbwf_check.Degradation.holds;
+    List.iter
+      (fun dv ->
+        let open Tbwf_check.Degradation in
+        match dv.dv_pid with
+        | 1 ->
+          Alcotest.(check (option bool)) "cut client not quorate"
+            (Some false) dv.dv_quorate;
+          Alcotest.(check bool) "and therefore exempt" false
+            dv.dv_predicted_timely
+        | 0 -> ()
+        | _ ->
+          Alcotest.(check (option bool))
+            (Fmt.str "client %d quorate" dv.dv_pid)
+            (Some true) dv.dv_quorate)
+      v.Tbwf_check.Degradation.processes
+
 (* The fuzz demo: the planted bug needs both fuzz dimensions (a plan with
    an abort ramp AND a schedule that runs the writer), the shrunk plan
    still fails, and it replays byte-identically from its serialization. *)
@@ -222,6 +415,20 @@ let () =
           Alcotest.test_case "prediction" `Quick test_prediction;
           QCheck_alcotest.to_alcotest qcheck_gen_round_trip;
         ] );
+      ( "fault plans v2",
+        [
+          Alcotest.test_case "net kitchen sink round trip" `Quick
+            test_v2_round_trip;
+          Alcotest.test_case "v1 header byte-stable" `Quick
+            test_v1_header_stable;
+          Alcotest.test_case "unknown kinds: v2 keeps, v1 rejects" `Quick
+            test_unknown_kind_versioned;
+          Alcotest.test_case "emergent timeliness prediction" `Quick
+            test_emergent_prediction;
+          Alcotest.test_case "shrink preserves unknown atoms" `Quick
+            test_shrink_preserves_unknown_atoms;
+          QCheck_alcotest.to_alcotest qcheck_gen_v2_round_trip;
+        ] );
       ( "determinism",
         [
           QCheck_alcotest.to_alcotest qcheck_deterministic_replay;
@@ -233,6 +440,8 @@ let () =
             test_catalogue_covers_every_atom;
           Alcotest.test_case "slowdown separates systems" `Slow
             test_campaign_smoke;
+          Alcotest.test_case "client cut over message passing" `Slow
+            test_campaign_mp_smoke;
         ] );
       ( "fuzz",
         [ Alcotest.test_case "planted bug found and replayed" `Quick
