@@ -280,6 +280,21 @@ let run_json () =
         ]
     | _ -> Json.Null
   in
+  (* The tbwf_soak configuration — collector + tail monitor + online
+     degradation checker + v2 stream records — against the nil sink: the
+     cost of watching a run (and judging it) while it executes. *)
+  let streaming_overhead =
+    match rate "full TBWF op (election + QA)",
+          rate "full TBWF op + streaming telemetry" with
+    | Some nil, Some stream when stream > 0.0 ->
+      Json.Obj
+        [
+          "nil_sink_steps_per_sec", Json.Float nil;
+          "streaming_steps_per_sec", Json.Float stream;
+          "stream_cost_ratio", Json.Float (nil /. stream);
+        ]
+    | _ -> Json.Null
+  in
   (* Shared memory vs the ABD quorum emulation on the identical client
      workload: the per-step cost ratio of making register timeliness
      emergent rather than assumed. *)
@@ -340,6 +355,7 @@ let run_json () =
         "throughput", Json.Arr (List.map row_json rows);
         "backend_speedup", backend_speedup;
         "telemetry_overhead", overhead;
+        "streaming_overhead", streaming_overhead;
         "substrate_overhead", substrate_overhead;
         "parallel_fanout", parallel_fanout;
       ]

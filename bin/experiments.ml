@@ -31,7 +31,7 @@ let run backend quick jobs ids =
       entries
   in
   List.iter
-    (fun id -> Fmt.epr "unknown experiment %S (known: E1..E17)@." id)
+    (fun id -> Fmt.epr "unknown experiment %S (known: E1..E18)@." id)
     unknown;
   let pool = Tbwf_parallel.Pool.create ~domains:jobs () in
   let results =
@@ -76,7 +76,7 @@ let jobs =
        & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let ids =
-  let doc = "Experiment ids to run (default: all of E1..E17)." in
+  let doc = "Experiment ids to run (default: all of E1..E18)." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let cmd =

@@ -111,6 +111,18 @@ let matrix backend substrate full seed jobs =
         o.Campaign.o_rows;
       Fmt.pf fmt "@.")
     m.Campaign.m_outcomes;
+  (* Per-cell wall times go to stderr: stdout is the deterministic
+     artifact (goldens diff it), timing is diagnostics. *)
+  List.iter
+    (fun o ->
+      List.iter
+        (fun r ->
+          Fmt.epr "cell %-12s %-16s %6.2fs@."
+            (Campaign.name o.Campaign.o_campaign)
+            (Campaign.system_name r.Campaign.row_system)
+            r.Campaign.row_result.Campaign.rr_seconds)
+        o.Campaign.o_rows)
+    m.Campaign.m_outcomes;
   Fmt.pf fmt "@.matrix %s@."
     (if m.Campaign.m_ok then "as predicted"
      else "NOT as predicted ([!] rows differ)");

@@ -42,7 +42,17 @@ type run = {
   verdict : string option;  (* plan runs carry a degradation verdict *)
 }
 
-let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window =
+(* First v2 record of the streaming run, kept so `export` can pin the
+   stream schema against a golden the same way it pins the snapshot's. *)
+let first_stream_record : Json.t option ref = ref None
+
+let emit_stream record =
+  if !first_stream_record = None then first_stream_record := Some record;
+  print_string (Json.to_string record);
+  print_newline ()
+
+let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window ~stream_every
+    =
   let timely = List.init k (fun i -> n - 1 - i) in
   let stack =
     Tbwf_system.System.build ~backend ~substrate ~seed ~telemetry:true
@@ -50,6 +60,22 @@ let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window =
   in
   let rt = stack.Tbwf_system.System.rt in
   let telemetry = Option.get stack.Tbwf_system.System.telemetry in
+  (* Streaming: a windowed tail-rate monitor rides along and its running
+     state is embedded in every v2 record. The monitor's sink runs first
+     in the tee, so when the collector emits the record for window w the
+     monitor has closed exactly windows 0..w. *)
+  (match stream_every with
+  | None -> ()
+  | Some every ->
+    let tm = Tbwf_check.Tail_monitor.create ~n ~window:every () in
+    Tbwf_sim.Runtime.set_sink rt
+      (Tbwf_sim.Sink.tee
+         (Tbwf_check.Tail_monitor.sink tm)
+         (Collector.sink telemetry));
+    Collector.emit_every telemetry ~every
+      ~extra:(fun ~window:_ ->
+        [ "tail_monitor", Tbwf_check.Tail_monitor.to_json tm ])
+      emit_stream);
   (* Replica server pids, when present, get scheduled alongside the
      clients; the E1-style timely set stays a client-pid property. *)
   let policy =
@@ -61,6 +87,7 @@ let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window =
         ~timely ()
   in
   Tbwf_sim.Runtime.run rt ~policy ~steps;
+  if stream_every <> None then Collector.stream_flush telemetry;
   Tbwf_sim.Runtime.stop rt;
   {
     telemetry;
@@ -75,11 +102,16 @@ let run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window =
     verdict = None;
   }
 
-let run_plan_file ~backend ~substrate ~path ~system ~seed =
+let run_plan_file ~backend ~substrate ~path ~system ~seed ~stream_every =
   match Fault_plan.of_string (read_file path) with
   | Error msg -> Error (Fmt.str "bad plan file %s: %s" path msg)
   | Ok plan ->
-    let r = Campaign.run_plan ~backend ~substrate ~seed ~plan ~system () in
+    let stream =
+      Option.map (fun every -> every, emit_stream) stream_every
+    in
+    let r =
+      Campaign.run_plan ~backend ~substrate ~seed ?stream ~plan ~system ()
+    in
     let v = r.Campaign.rr_verdict in
     Ok
       {
@@ -110,8 +142,8 @@ let substrate_of_name = function
       (Fmt.str "unknown substrate %S (known: shared-memory, message-passing)"
          s)
 
-let resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
-    =
+let resolve ?stream_every ~backend ~substrate ~plan ~system ~full ~n ~k ~steps
+    ~seed ~window () =
   match Tbwf_sim.Backend.of_string backend with
   | Error msg -> Error msg
   | Ok backend -> (
@@ -134,7 +166,7 @@ let resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
         | Some s -> Int64.of_int s
         | None -> Campaign.default_seed
       in
-      run_plan_file ~backend ~substrate ~path ~system ~seed)
+      run_plan_file ~backend ~substrate ~path ~system ~seed ~stream_every)
   | None ->
     let n = Option.value n ~default:(if full then 8 else 4) in
     let k = Option.value k ~default:n in
@@ -148,13 +180,16 @@ let resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
         | Some s -> Int64.of_int s
         | None -> Int64.of_int (1000 + k)
       in
-      Ok (run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window)
+      Ok
+        (run_scenario ~backend ~substrate ~n ~k ~steps ~seed ~window
+           ~stream_every)
     end))
 
-let with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
-    ~window f =
+let with_run ?stream_every ~backend ~substrate ~plan ~system ~full ~n ~k
+    ~steps ~seed ~window f =
   match
-    resolve ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
+    resolve ?stream_every ~backend ~substrate ~plan ~system ~full ~n ~k ~steps
+      ~seed ~window ()
   with
   | Error msg ->
     Fmt.epr "%s@." msg;
@@ -183,9 +218,43 @@ let timeline_cmd_impl backend substrate plan system full n k steps seed
   Fmt.flush fmt ();
   0
 
+(* Exit 0 iff [actual] equals the golden schema at [path]; on drift,
+   print the missing/extra key paths. Shared by the snapshot and the v2
+   stream-record gates. *)
+let schema_check ~label ~path actual =
+  let golden = read_file path in
+  if String.equal golden actual then begin
+    Fmt.epr "%s schema matches %s@." label path;
+    0
+  end
+  else begin
+    let lines s = String.split_on_char '\n' s in
+    let golden_l = lines golden and actual_l = lines actual in
+    let missing =
+      List.filter (fun l -> l <> "" && not (List.mem l actual_l)) golden_l
+    and extra =
+      List.filter (fun l -> l <> "" && not (List.mem l golden_l)) actual_l
+    in
+    Fmt.epr "%s schema DRIFT vs %s@." label path;
+    List.iter (Fmt.epr "  - %s@.") missing;
+    List.iter (Fmt.epr "  + %s@.") extra;
+    1
+  end
+
 let export_cmd_impl backend substrate plan system full n k steps seed window
-    pretty out check_schema write_schema =
-  with_run ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed ~window
+    stream_every pretty out check_schema write_schema check_stream_schema
+    write_stream_schema =
+  match stream_every with
+  | Some every when every < 1 ->
+    Fmt.epr "--stream-every must be positive@.";
+    2
+  | None when check_stream_schema <> None || write_stream_schema <> None ->
+    Fmt.epr
+      "--check-stream-schema/--write-stream-schema require --stream-every@.";
+    2
+  | _ ->
+  with_run ?stream_every ~backend ~substrate ~plan ~system ~full ~n ~k ~steps
+    ~seed ~window
   @@ fun run ->
   let snapshot = Collector.snapshot run.telemetry in
   let text =
@@ -202,28 +271,28 @@ let export_cmd_impl backend substrate plan system full n k steps seed window
     write_file path (Json.schema_string snapshot);
     Fmt.epr "schema written to %s@." path
   | None -> ());
-  match check_schema with
-  | None -> 0
-  | Some path ->
-    let golden = read_file path in
-    let actual = Json.schema_string snapshot in
-    if String.equal golden actual then begin
-      Fmt.epr "schema matches %s@." path;
-      0
-    end
-    else begin
-      let lines s = String.split_on_char '\n' s in
-      let golden_l = lines golden and actual_l = lines actual in
-      let missing =
-        List.filter (fun l -> l <> "" && not (List.mem l actual_l)) golden_l
-      and extra =
-        List.filter (fun l -> l <> "" && not (List.mem l golden_l)) actual_l
-      in
-      Fmt.epr "schema DRIFT vs %s@." path;
-      List.iter (Fmt.epr "  - %s@.") missing;
-      List.iter (Fmt.epr "  + %s@.") extra;
+  (match write_stream_schema, !first_stream_record with
+  | Some path, Some record ->
+    write_file path (Json.schema_string record);
+    Fmt.epr "stream schema written to %s@." path
+  | Some path, None -> Fmt.epr "no stream record emitted; %s not written@." path
+  | None, _ -> ());
+  let rc_snapshot =
+    match check_schema with
+    | None -> 0
+    | Some path ->
+      schema_check ~label:"snapshot" ~path (Json.schema_string snapshot)
+  in
+  let rc_stream =
+    match check_stream_schema, !first_stream_record with
+    | None, _ -> 0
+    | Some path, Some record ->
+      schema_check ~label:"stream" ~path (Json.schema_string record)
+    | Some _, None ->
+      Fmt.epr "no stream record emitted to check@.";
       1
-    end
+  in
+  max rc_snapshot rc_stream
 
 let list_systems_impl () =
   Fmt.pf fmt "%a@." Tbwf_system.System.pp_registry ();
@@ -334,6 +403,16 @@ let timeline_cmd =
       $ width_arg)
 
 let export_cmd =
+  let stream_every =
+    Arg.(value & opt (some int) None
+         & info [ "stream-every" ] ~docv:"STEPS"
+             ~doc:"Stream one tbwf-telemetry/v2 JSONL record per $(docv) \
+                   steps to stdout while the run executes (window tails, \
+                   epoch churn, net section, running verdicts), before \
+                   the final snapshot. The stream derives from \
+                   event-ordered state only, so it is byte-identical \
+                   under replay.")
+  in
   let pretty =
     Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the JSON output.")
   in
@@ -354,6 +433,20 @@ let export_cmd =
              ~doc:"Write the snapshot's key-path schema to $(docv) (to \
                    regenerate the golden file).")
   in
+  let check_stream_schema =
+    Arg.(value & opt (some file) None
+         & info [ "check-stream-schema" ] ~docv:"FILE"
+             ~doc:"Exit 1 unless the first tbwf-telemetry/v2 stream \
+                   record's key-path schema equals the golden schema in \
+                   $(docv). Requires --stream-every.")
+  in
+  let write_stream_schema =
+    Arg.(value & opt (some string) None
+         & info [ "write-stream-schema" ] ~docv:"FILE"
+             ~doc:"Write the first stream record's key-path schema to \
+                   $(docv) (to regenerate the golden file). Requires \
+                   --stream-every.")
+  in
   Cmd.v
     (Cmd.info "export"
        ~doc:"run a scenario or plan and export the deterministic JSON \
@@ -361,10 +454,13 @@ let export_cmd =
     Term.(
       common
         (fun ~backend ~substrate ~plan ~system ~full ~n ~k ~steps ~seed
-             ~window pretty out check_schema write_schema ->
+             ~window stream_every pretty out check_schema write_schema
+             check_stream_schema write_stream_schema ->
           export_cmd_impl backend substrate plan system full n k steps seed
-            window pretty out check_schema write_schema)
-      $ pretty $ out $ check_schema $ write_schema)
+            window stream_every pretty out check_schema write_schema
+            check_stream_schema write_stream_schema)
+      $ stream_every $ pretty $ out $ check_schema $ write_schema
+      $ check_stream_schema $ write_stream_schema)
 
 let list_systems_cmd =
   Cmd.v

@@ -107,6 +107,164 @@ let check ?(min_ops = 1) ?(require_sched_timely = true) ~prediction ~trace
     processes;
   }
 
+module Online = struct
+  (* The same contract, decided incrementally from the sink stream instead
+     of post-hoc from the recorded trace. The gap bookkeeping mirrors
+     [Timeliness.max_gap] move for move: [cur.(p).(q)] counts q's steps
+     since p's last step (or since the tail boundary if p has not stepped
+     yet), [big.(p).(q)] holds the largest already-flushed gap, and a step
+     by p flushes its whole row. The verdict is then assembled with
+     exactly [check]'s logic, so for any finished run
+     [verdict t = check ~prediction ~trace ...] field for field — the
+     differential test in [test/test_nemesis.ml] enforces this across the
+     full campaign × system matrix on both substrates. *)
+
+  type t = {
+    o_prediction : prediction;
+    o_min_ops : int;
+    o_require_sched_timely : bool;
+    o_completed : int array;  (* per-pid completions, whole run *)
+    mutable o_before : int array option;
+        (* [o_completed] snapshotted at the first event with
+           step ≥ pred_from — the online analogue of [completed_before] *)
+    o_own_steps : int array;  (* per-pid own steps in the tail *)
+    o_cur : int array array;  (* o_cur.(p).(q): q steps since p last stepped *)
+    o_big : int array array;  (* largest flushed gap per (p, q) pair *)
+    o_stepped : bool array;  (* has p stepped in the tail at all? *)
+  }
+
+  let create ?(min_ops = 1) ?(require_sched_timely = true) prediction =
+    let n = prediction.pred_n in
+    {
+      o_prediction = prediction;
+      o_min_ops = min_ops;
+      o_require_sched_timely = require_sched_timely;
+      o_completed = Array.make n 0;
+      o_before = None;
+      o_own_steps = Array.make n 0;
+      o_cur = Array.init n (fun _ -> Array.make n 0);
+      o_big = Array.init n (fun _ -> Array.make n 0);
+      o_stepped = Array.make n false;
+    }
+
+  (* Snapshot the tail boundary the moment any event at or past
+     [pred_from] arrives. The runtime emits [on_step] before the step's
+     own invokes/responds/signals, so the first such event is the
+     boundary step itself — but every handler guards, in case a sink is
+     fed a partial stream. *)
+  let roll t ~step =
+    if t.o_before = None && step >= t.o_prediction.pred_from then
+      t.o_before <- Some (Array.copy t.o_completed)
+
+  let on_step t ~step ~pid =
+    roll t ~step;
+    let n = t.o_prediction.pred_n in
+    if step >= t.o_prediction.pred_from && pid >= 0 && pid < n then begin
+      t.o_own_steps.(pid) <- t.o_own_steps.(pid) + 1;
+      (* This step widens every other process's current gap... *)
+      for p = 0 to n - 1 do
+        if p <> pid then t.o_cur.(p).(pid) <- t.o_cur.(p).(pid) + 1
+      done;
+      (* ...and flushes [pid]'s own row, exactly like [max_gap]'s
+         p-step case. *)
+      let cur = t.o_cur.(pid) and big = t.o_big.(pid) in
+      for q = 0 to n - 1 do
+        if q <> pid then begin
+          if cur.(q) > big.(q) then big.(q) <- cur.(q);
+          cur.(q) <- 0
+        end
+      done;
+      t.o_stepped.(pid) <- true
+    end
+
+  let on_signal t ~step ~pid signal =
+    roll t ~step;
+    match signal with
+    | Sink.Op_complete ->
+      if pid >= 0 && pid < t.o_prediction.pred_n then
+        t.o_completed.(pid) <- t.o_completed.(pid) + 1
+    | _ -> ()
+
+  let sink t =
+    {
+      Sink.active = true;
+      on_step = (fun ~step ~pid ~layer:_ -> on_step t ~step ~pid);
+      on_invoke =
+        (fun ~step ~pid:_ ~layer:_ ~obj_id:_ ~obj_name:_ ~op:_ ->
+          roll t ~step);
+      on_respond =
+        (fun ~step ~pid:_ ~layer:_ ~obj_id:_ ~obj_name:_ ~op:_ ~result:_ ->
+          roll t ~step);
+      on_signal = (fun ~step ~pid s -> on_signal t ~step ~pid s);
+    }
+
+  (* [Timeliness.q_timely] replayed over the matrices: the final flush is
+     [max big cur]; a p that never stepped yields the vacuous [Some 0]
+     only if q never stepped either (its current gap is still 0). *)
+  let pair_timely t ~p ~q =
+    if t.o_stepped.(p) then
+      max t.o_big.(p).(q) t.o_cur.(p).(q) <= t.o_prediction.pred_bound
+    else t.o_cur.(p).(q) = 0
+
+  let sched_timely t ~pid =
+    let n = t.o_prediction.pred_n in
+    let ok = ref true in
+    for q = 0 to n - 1 do
+      if q <> pid && not (pair_timely t ~p:pid ~q) then ok := false
+    done;
+    !ok
+
+  let verdict t =
+    let p = t.o_prediction in
+    let before =
+      (* No event ever reached the tail: the tail is empty and the
+         boundary counters are simply the final counters. *)
+      match t.o_before with Some b -> b | None -> t.o_completed
+    in
+    let processes =
+      List.init p.pred_n (fun pid ->
+          let quorate =
+            Option.map (fun em -> emergent_quorate em pid) p.pred_emergent
+          in
+          let predicted_timely =
+            List.mem pid p.pred_timely && quorate <> Some false
+          in
+          let tail_ops = t.o_completed.(pid) - before.(pid) in
+          let steps = t.o_own_steps.(pid) in
+          if not predicted_timely then
+            {
+              dv_pid = pid;
+              dv_predicted_timely = false;
+              dv_quorate = quorate;
+              dv_sched_timely = None;
+              dv_tail_ops = tail_ops;
+              dv_tail_steps = steps;
+              dv_ok = true;
+            }
+          else begin
+            let sched_timely = sched_timely t ~pid in
+            let ok =
+              tail_ops >= t.o_min_ops
+              && ((not t.o_require_sched_timely) || sched_timely)
+            in
+            {
+              dv_pid = pid;
+              dv_predicted_timely = true;
+              dv_quorate = quorate;
+              dv_sched_timely = Some sched_timely;
+              dv_tail_ops = tail_ops;
+              dv_tail_steps = steps;
+              dv_ok = ok;
+            }
+          end)
+    in
+    {
+      holds = List.for_all (fun v -> v.dv_ok) processes;
+      from_step = p.pred_from;
+      processes;
+    }
+end
+
 let timely_tail_ops verdict =
   List.filter_map
     (fun v -> if v.dv_predicted_timely then Some v.dv_tail_ops else None)
@@ -116,6 +274,29 @@ let min_timely_tail_ops verdict =
   match timely_tail_ops verdict with
   | [] -> None
   | ops -> Some (List.fold_left min max_int ops)
+
+module Json = Tbwf_telemetry.Json
+
+let process_json v =
+  let opt_bool = function None -> Json.Null | Some b -> Json.Bool b in
+  Json.Obj
+    [
+      "pid", Json.Int v.dv_pid;
+      "predicted_timely", Json.Bool v.dv_predicted_timely;
+      "quorate", opt_bool v.dv_quorate;
+      "sched_timely", opt_bool v.dv_sched_timely;
+      "tail_ops", Json.Int v.dv_tail_ops;
+      "tail_steps", Json.Int v.dv_tail_steps;
+      "ok", Json.Bool v.dv_ok;
+    ]
+
+let verdict_json verdict =
+  Json.Obj
+    [
+      "holds", Json.Bool verdict.holds;
+      "from_step", Json.Int verdict.from_step;
+      "processes", Json.Arr (List.map process_json verdict.processes);
+    ]
 
 let pp_process fmt v =
   Fmt.pf fmt "p%d %s: %d ops in %d own steps of the tail%s%s" v.dv_pid

@@ -122,8 +122,46 @@ val check :
     mistaken for an algorithm violation. Raises [Invalid_argument] if the
     counter arrays do not have length [pred_n]. *)
 
+(** {2 Online checking}
+
+    The same contract decided incrementally from the event stream, for
+    runs too long to keep a trace of. An {!Online.t} consumes the sink
+    stream as the run executes — O(n²) memory in the process count,
+    independent of the horizon — and its {!Online.verdict} is field-for-
+    field equal to what {!check} would return on the finished run's
+    trace: the gap bookkeeping replicates [Timeliness.max_gap] (including
+    the vacuous never-stepped case) and the verdict assembly replicates
+    {!check} verbatim. The differential test in [test/test_nemesis.ml]
+    enforces the equality across the full campaign × system matrix on
+    both substrates. *)
+
+module Online : sig
+  type t
+
+  val create : ?min_ops:int -> ?require_sched_timely:bool -> prediction -> t
+  (** Same defaults and meaning as the corresponding {!check}
+      arguments. The tail boundary is [prediction.pred_from]: events
+      before it only accumulate the pre-tail completion counters. *)
+
+  val sink : t -> Tbwf_sim.Sink.t
+  (** Install with [Runtime.set_sink], or compose with a collector's
+      sink via [Sink.tee] — the checker only reads [on_step] and
+      [Op_complete] signals, every other callback just arms the tail
+      boundary. *)
+
+  val verdict : t -> verdict
+  (** The verdict over everything consumed so far. Non-destructive: safe
+      to call per stream window for running verdicts and again at the
+      end of the run. *)
+end
+
 val min_timely_tail_ops : verdict -> int option
 (** Minimum tail operations over predicted-timely processes; [None] if the
     plan predicts nobody timely. *)
+
+val process_json : process_verdict -> Tbwf_telemetry.Json.t
+val verdict_json : verdict -> Tbwf_telemetry.Json.t
+(** Canonical JSON rendering of a verdict — what the streaming telemetry
+    records and the soak CLI embed. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -121,6 +121,51 @@ let full_tbwf_ops_telemetry steps () =
   Runtime.run stack.Scenario.rt ~policy:(Policy.round_robin ()) ~steps;
   Runtime.stop stack.Scenario.rt
 
+(* The full streaming configuration tbwf_soak runs: collector plus the
+   windowed tail-rate monitor plus the online degradation checker in one
+   sink tee, with a v2 record emitted (and dropped) every 2 500 steps.
+   The ratio against [full_tbwf_ops] is [streaming_overhead] in the
+   --json output — the cost of watching a run while it executes. *)
+let full_tbwf_ops_streaming steps () =
+  let n = 4 in
+  let stack =
+    Scenario.build ~seed:(Int64.add base_seed 4L) ~n
+      ~omega:Scenario.Omega_atomic ~spec:Counter.spec
+      ~next_op:(Workload.forever Counter.inc)
+      ~client_pids:[ 0; 1; 2; 3 ] ()
+  in
+  let rt = stack.Scenario.rt in
+  let telemetry = Tbwf_telemetry.Collector.attach rt in
+  let prediction =
+    {
+      Tbwf_check.Degradation.pred_n = n;
+      pred_timely = [ 0; 1; 2; 3 ];
+      pred_from = steps / 2;
+      pred_bound = n;
+      pred_emergent = None;
+    }
+  in
+  let online = Tbwf_check.Degradation.Online.create prediction in
+  let tm = Tbwf_check.Tail_monitor.create ~n ~window:2_500 () in
+  Runtime.set_sink rt
+    (Sink.tee
+       (Tbwf_check.Tail_monitor.sink tm)
+       (Sink.tee
+          (Tbwf_telemetry.Collector.sink telemetry)
+          (Tbwf_check.Degradation.Online.sink online)));
+  Tbwf_telemetry.Collector.emit_every telemetry ~every:2_500
+    ~extra:(fun ~window:_ ->
+      [
+        ( "verdict",
+          Tbwf_check.Degradation.verdict_json
+            (Tbwf_check.Degradation.Online.verdict online) );
+        "tail_monitor", Tbwf_check.Tail_monitor.to_json tm;
+      ])
+    (fun (_ : Tbwf_telemetry.Json.t) -> ());
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps;
+  Tbwf_telemetry.Collector.stream_flush telemetry;
+  Runtime.stop rt
+
 let layers =
   [
     "scheduler (yield only)", scheduler_steps;
@@ -131,6 +176,7 @@ let layers =
     "full TBWF op (compiled backend)", full_tbwf_ops_compiled;
     "full TBWF op (message-passing substrate)", full_tbwf_ops_mp;
     "full TBWF op + live telemetry", full_tbwf_ops_telemetry;
+    "full TBWF op + streaming telemetry", full_tbwf_ops_streaming;
   ]
 
 let runners = List.map (fun (label, f) -> label, f 20_000) layers

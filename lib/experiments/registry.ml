@@ -93,6 +93,11 @@ let all =
       title = "degradation over message passing";
       run = wrap E17_network.compute E17_network.report;
     };
+    {
+      id = "E18";
+      title = "practically wait-free: stochastic scheduler vs adversary";
+      run = wrap E18_stochastic.compute E18_stochastic.report;
+    };
   ]
 
 let run_all ?quick fmt =

@@ -26,11 +26,16 @@ let all_systems = System.all
 type run_result = {
   rr_system : system;
   rr_verdict : Degradation.verdict;
+  rr_online : Degradation.verdict;
+      (* the same contract decided incrementally by [Degradation.Online]
+         from the sink stream while the run executed; equal to
+         [rr_verdict] field for field (the differential invariant) *)
   rr_tail_steps : int;
   rr_tail_ops : int array;
       (* measured workload completions per pid over the tail, from the
          attached telemetry collector *)
   rr_telemetry : Tbwf_telemetry.Collector.t;
+  rr_seconds : float;  (* wall-clock seconds this cell took to run *)
 }
 
 let default_seed = 0x4E454D45L (* "NEME" *)
@@ -82,8 +87,8 @@ let align_substrate ?substrate plan =
     in
     System.Message_passing config, plan
 
-let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ~plan
-    ~system () =
+let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ?stream
+    ~plan ~system () =
   let substrate, plan = align_substrate ?substrate plan in
   let n = Fault_plan.n plan in
   let horizon = Fault_plan.horizon plan in
@@ -98,6 +103,7 @@ let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ~plan
     Fault_plan.abort_policy plan ~target:Fault_plan.Omega_mesh
       ~base:Abort_policy.Always
   in
+  let start = Unix.gettimeofday () in
   let stack =
     System.build ?backend ~substrate ~seed ~qa_policy ~mesh_policy
       ~telemetry:true ~n system
@@ -112,12 +118,6 @@ let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ~plan
      last fault", and the tail must leave the recovered system room to
      demonstrate it. *)
   let snap = max (Fault_plan.settle_step plan) (horizon - (horizon / 4)) in
-  Runtime.run rt ~policy ~steps:snap;
-  let completed_before = Array.copy stats.Workload.completed in
-  let measured_before = Tbwf_telemetry.Collector.app_completed telemetry in
-  Runtime.run rt ~policy ~steps:(horizon - snap);
-  let completed_after = Array.copy stats.Workload.completed in
-  let measured_after = Tbwf_telemetry.Collector.app_completed telemetry in
   let prediction =
     { (Fault_plan.prediction plan) with Degradation.pred_from = snap }
   in
@@ -130,18 +130,49 @@ let run_plan ?backend ?substrate ?(seed = default_seed) ?min_ops ~plan
       | System.Message_passing _ ->
         net_required_tail_ops ~n ~tail:(horizon - snap))
   in
+  (* The tail boundary and floor are plan-derived, so the online checker
+     can be armed before the first step; it shares the run's event stream
+     with the collector through a tee. *)
+  let online = Degradation.Online.create ~min_ops prediction in
+  Runtime.set_sink rt
+    (Sink.tee
+       (Tbwf_telemetry.Collector.sink telemetry)
+       (Degradation.Online.sink online));
+  (* Streaming: one v2 record per [every]-step window, each carrying the
+     online checker's verdict so far. The collector's sink runs first in
+     the tee, so at emission time the checker has consumed exactly the
+     steps the record covers. *)
+  (match stream with
+  | None -> ()
+  | Some (every, emit) ->
+    Tbwf_telemetry.Collector.emit_every telemetry ~every
+      ~extra:(fun ~window:_ ->
+        [
+          ( "verdict",
+            Degradation.verdict_json (Degradation.Online.verdict online) );
+        ])
+      emit);
+  Runtime.run rt ~policy ~steps:snap;
+  let completed_before = Array.copy stats.Workload.completed in
+  let measured_before = Tbwf_telemetry.Collector.app_completed telemetry in
+  Runtime.run rt ~policy ~steps:(horizon - snap);
+  let completed_after = Array.copy stats.Workload.completed in
+  let measured_after = Tbwf_telemetry.Collector.app_completed telemetry in
   let verdict =
     Degradation.check ~min_ops ~prediction ~trace:(Runtime.trace rt)
       ~completed_before ~completed_after ()
   in
+  if stream <> None then Tbwf_telemetry.Collector.stream_flush telemetry;
   Runtime.stop rt;
   {
     rr_system = system;
     rr_verdict = verdict;
+    rr_online = Degradation.Online.verdict online;
     rr_tail_steps = horizon - snap;
     rr_tail_ops =
       Array.init n (fun pid -> measured_after.(pid) - measured_before.(pid));
     rr_telemetry = telemetry;
+    rr_seconds = Unix.gettimeofday () -. start;
   }
 
 (* --- the campaign catalogue ---------------------------------------------- *)

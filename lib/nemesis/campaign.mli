@@ -39,6 +39,13 @@ val all_systems : system list
 type run_result = {
   rr_system : system;
   rr_verdict : Tbwf_check.Degradation.verdict;
+  rr_online : Tbwf_check.Degradation.verdict;
+      (** the same contract decided incrementally by
+          {!Tbwf_check.Degradation.Online} from the sink stream while the
+          run executed, without consulting the recorded trace. Equal to
+          [rr_verdict] field for field — the differential invariant
+          [test/test_nemesis.ml] checks across the whole matrix — and the
+          verdict long-horizon runs rely on when trace recording is off *)
   rr_tail_steps : int;
   rr_tail_ops : int array;
       (** measured workload completions per pid over the tail window, from
@@ -47,6 +54,9 @@ type run_result = {
   rr_telemetry : Tbwf_telemetry.Collector.t;
       (** the run's full telemetry collector; [Collector.snapshot] exports
           it as JSON *)
+  rr_seconds : float;
+      (** wall-clock seconds the cell took (build + run + verdict) — for
+          stderr diagnostics only; never part of deterministic output *)
 }
 
 val default_seed : int64
@@ -62,6 +72,7 @@ val run_plan :
   ?substrate:Tbwf_system.System.substrate ->
   ?seed:int64 ->
   ?min_ops:int ->
+  ?stream:int * (Tbwf_telemetry.Json.t -> unit) ->
   plan:Fault_plan.t ->
   system:system ->
   unit ->
@@ -80,7 +91,13 @@ val run_plan :
     from the plan (or from the config for a replica-less plan, which is
     re-made to schedule the replica pids), and the verdict exempts
     clients the plan cuts off from a live replica majority (emergent
-    untimeliness — see {!Tbwf_check.Degradation}). Raises
+    untimeliness — see {!Tbwf_check.Degradation}).
+
+    [stream] = [(every, emit)] arranges one [tbwf-telemetry/v2] record
+    per [every]-step window ({!Tbwf_telemetry.Collector.emit_every}),
+    each carrying the online checker's running verdict under
+    ["verdict"]; the final partial window is flushed before the runtime
+    stops. Raises
     [Invalid_argument] for a plan with replica/network atoms on shared
     memory, and (via {!Tbwf_system.System.build}) for message passing on
     the compiled backend. *)

@@ -80,8 +80,10 @@ type _ Effect.t +=
   | Call : Shared.t * Value.t -> Value.t Effect.t
   | Self : int Effect.t
 
-let create ?(seed = 0xC0FFEEL) ~n () =
+let create ?(seed = 0xC0FFEEL) ?(record_trace = true) ~n () =
   if n < 1 then invalid_arg "Runtime.create: need at least one process";
+  let trace = Trace.create () in
+  if not record_trace then Trace.disable trace;
   {
     num = n;
     rng = Rng.create seed;
@@ -91,7 +93,7 @@ let create ?(seed = 0xC0FFEEL) ~n () =
        which consumes no scheduling randomness — would shift every object
        draw and diverge from the run it replays. *)
     obj_rng = Rng.create (Int64.logxor seed 0x6F626A5F726E6721L);
-    trace = Trace.create ();
+    trace;
     procs =
       Array.init n (fun pid ->
           {

@@ -67,6 +67,32 @@ type t = {
   on_signal : step:int -> pid:int -> signal -> unit;
 }
 
+(* Fan one event stream out to two sinks, first [a] then [b] — the
+   composition point that lets a collector and an online checker watch
+   the same run. The tee is active if either side is, and call sites
+   guard on the *tee*'s flag, so an inactive side just receives (and
+   ignores) events its partner paid to build. *)
+let tee a b =
+  {
+    active = a.active || b.active;
+    on_step =
+      (fun ~step ~pid ~layer ->
+        a.on_step ~step ~pid ~layer;
+        b.on_step ~step ~pid ~layer);
+    on_invoke =
+      (fun ~step ~pid ~layer ~obj_id ~obj_name ~op ->
+        a.on_invoke ~step ~pid ~layer ~obj_id ~obj_name ~op;
+        b.on_invoke ~step ~pid ~layer ~obj_id ~obj_name ~op);
+    on_respond =
+      (fun ~step ~pid ~layer ~obj_id ~obj_name ~op ~result ->
+        a.on_respond ~step ~pid ~layer ~obj_id ~obj_name ~op ~result;
+        b.on_respond ~step ~pid ~layer ~obj_id ~obj_name ~op ~result);
+    on_signal =
+      (fun ~step ~pid s ->
+        a.on_signal ~step ~pid s;
+        b.on_signal ~step ~pid s);
+  }
+
 let nil =
   {
     active = false;

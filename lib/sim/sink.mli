@@ -66,3 +66,7 @@ type t = {
 
 val nil : t
 (** The inactive no-op sink; installed by default. *)
+
+val tee : t -> t -> t
+(** [tee a b] forwards every event to [a] then [b]; active iff either
+    side is. Lets a collector and an online checker observe one run. *)

@@ -37,6 +37,10 @@ let unzig z = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
 let res_invoke = 1
 
 type t = {
+  mutable enabled : bool;
+      (* long-horizon runs (tbwf_soak) disable recording entirely: even
+         off-heap Bigarrays grow ~8 bytes/step, which a memory-bounded
+         multi-10M-step run cannot afford. A disabled trace stays empty. *)
   mutable steps : ints;  (* steps.{i} = pid of step i *)
   mutable len : int;
   mutable ev_step : ints;
@@ -59,6 +63,7 @@ type t = {
 
 let create () =
   {
+    enabled = true;
     steps = make_ints 1024;
     len = 0;
     ev_step = make_ints 1024;
@@ -82,10 +87,15 @@ let grow_ints (a : ints) : ints =
   Bigarray.Array1.blit a (Bigarray.Array1.sub b 0 cap);
   b
 
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
 let record_step t ~pid =
-  if t.len = Bigarray.Array1.dim t.steps then t.steps <- grow_ints t.steps;
-  Bigarray.Array1.unsafe_set t.steps t.len pid;
-  t.len <- t.len + 1
+  if t.enabled then begin
+    if t.len = Bigarray.Array1.dim t.steps then t.steps <- grow_ints t.steps;
+    Bigarray.Array1.unsafe_set t.steps t.len pid;
+    t.len <- t.len + 1
+  end
 
 let grow_events t =
   t.ev_step <- grow_ints t.ev_step;
@@ -187,12 +197,14 @@ let record_event t ~step ~pid ~obj_id ~obj_name ~op_code:oc ~res_code:rc =
   t.n_events <- i + 1
 
 let record_invoke t ~step ~pid ~obj_id ~obj_name ~op =
-  record_event t ~step ~pid ~obj_id ~obj_name ~op_code:(op_code t op)
-    ~res_code:res_invoke
+  if t.enabled then
+    record_event t ~step ~pid ~obj_id ~obj_name ~op_code:(op_code t op)
+      ~res_code:res_invoke
 
 let record_respond t ~step ~pid ~obj_id ~obj_name ~op ~result =
-  record_event t ~step ~pid ~obj_id ~obj_name ~op_code:(op_code t op)
-    ~res_code:(res_code t result)
+  if t.enabled then
+    record_event t ~step ~pid ~obj_id ~obj_name ~op_code:(op_code t op)
+      ~res_code:(res_code t result)
 
 let record_op t ev =
   match ev.phase with

@@ -19,6 +19,14 @@ type t
 
 val create : unit -> t
 
+val disable : t -> unit
+(** Stop recording: subsequent {!record_step}/{!record_op} calls are
+    no-ops and the trace stays at its current contents (normally empty —
+    disable before running). Long-horizon soak runs use this to stay
+    memory-bounded; analyses that need the trace must not disable it. *)
+
+val enabled : t -> bool
+
 val record_step : t -> pid:int -> unit
 (** Append one scheduler step taken by [pid]. Steps are numbered from 0 in
     the order recorded. *)

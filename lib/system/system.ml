@@ -136,10 +136,10 @@ let default_qa_universal = function
   | Tbwf_atomic | Tbwf_abortable | Naive_booster | Retry -> false
 
 let build ?(backend = Backend.Reference) ?(substrate = Shared_memory) ?seed
-    ?(canonical = true) ?(qa_policy = Abort_policy.Always)
+    ?(record_trace = true) ?(canonical = true) ?(qa_policy = Abort_policy.Always)
     ?(mesh_policy = Abort_policy.Always) ?qa_universal ?(spec = Counter.spec)
     ?(next_op = Workload.forever Counter.inc) ?client_pids
-    ?(telemetry = false) ?telemetry_window ~n id =
+    ?(telemetry = false) ?telemetry_window ?telemetry_retain ~n id =
   (match backend, substrate with
   | Backend.Compiled, Message_passing _ ->
     (* The compiled machines talk to register objects through direct
@@ -151,18 +151,21 @@ let build ?(backend = Backend.Reference) ?(substrate = Shared_memory) ?seed
   | (Backend.Reference | Backend.Compiled), _ -> ());
   let rt =
     match substrate with
-    | Shared_memory -> Runtime.create ?seed ~n ()
+    | Shared_memory -> Runtime.create ?seed ~record_trace ~n ()
     | Message_passing config ->
       (* Replica server pids ride after the n clients, inside the same
          deterministic scheduler. *)
-      Runtime.create ?seed ~n:(n + config.Tbwf_net.Net.replicas) ()
+      Runtime.create ?seed ~record_trace
+        ~n:(n + config.Tbwf_net.Net.replicas) ()
   in
   (* The collector only installs a sink; attaching before the stack is
      wired records nothing and keeps the trace identical, while covering
      the wiring itself once spans start flowing. *)
   let collector =
     if telemetry then
-      Some (Tbwf_telemetry.Collector.attach ?window:telemetry_window rt)
+      Some
+        (Tbwf_telemetry.Collector.attach ?window:telemetry_window
+           ?retain:telemetry_retain rt)
     else None
   in
   (* Network and replica cluster come up before the Ω∆ so that inbox and

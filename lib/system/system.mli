@@ -154,6 +154,7 @@ val build :
   ?backend:Backend.t ->
   ?substrate:substrate ->
   ?seed:int64 ->
+  ?record_trace:bool ->
   ?canonical:bool ->
   ?qa_policy:Abort_policy.t ->
   ?mesh_policy:Abort_policy.t ->
@@ -163,6 +164,7 @@ val build :
   ?client_pids:int list ->
   ?telemetry:bool ->
   ?telemetry_window:int ->
+  ?telemetry_retain:int ->
   n:int ->
   id ->
   stack
@@ -177,6 +179,11 @@ val build :
     atomic-Ω∆ stack over the universal QA object), [spec] the counter,
     [next_op] an endless stream of increments, [client_pids] all pids,
     [telemetry:false].
+
+    [record_trace:false] disables trace recording (see {!Runtime.create})
+    and [telemetry_retain] bounds the collector's per-window series to
+    the most recent windows (see {!Tbwf_telemetry.Collector.attach}) —
+    together the memory-bounded configuration long soak runs use.
 
     [substrate] (default {!Shared_memory}) selects what registers are
     made of; with [Message_passing config] the runtime is created

@@ -20,9 +20,31 @@ open Tbwf_sim
 
 type leader_event = { le_step : int; le_leader : int }
 
+(* Periodic JSONL streaming state (see [emit_every]): the id of the
+   stream window currently accumulating, plus the cumulative values at
+   the last emit so each record can carry deltas. *)
+type stream = {
+  st_every : int;
+  st_emit : Json.t -> unit;
+  st_extra : window:int -> (string * Json.t) list;
+  mutable st_window : int;  (* stream-window id being accumulated *)
+  mutable st_completed : int;  (* total app completions at last emit *)
+  mutable st_epochs : int;
+  mutable st_steps : int;
+  mutable st_net_sent : int;
+  mutable st_net_dropped : int;
+}
+
+(* In bounded ([retain]) mode, timestamped event lists keep only this
+   many most-recent entries; the counts ([epochs], crash totals) stay
+   exact. *)
+let retained_events = 256
+
 type t = {
   n : int;
   window : int;
+  retain : int option;
+  mutable stream : stream option;
   registry : Metrics.t;  (* extension point for caller-defined metrics *)
   spans : Span.t;
   app_ops : Series.t;
@@ -40,22 +62,27 @@ type t = {
   leader_changes : int array;  (* view changes per observer *)
   mutable current_leader : int option;  (* last self-announced leader *)
   mutable handoffs : leader_event list;  (* reverse chronological *)
+  mutable handoffs_len : int;
   mutable epochs : int;
   mutable suspicion_flips : int;
   suspected_counts : int array;  (* times pid became suspected by someone *)
   mutable crashes : (int * int) list;  (* (step, pid), reverse *)
+  mutable crashes_len : int;
+  mutable n_crashes : int;  (* exact even when [crashes] is truncated *)
   mutable net_sent : int;  (* messages admitted by the simulated network *)
   mutable net_dropped : int;  (* of which lost (partition cut or loss draw) *)
   net_latency : Hist.t;  (* assigned one-way delays of delivered messages *)
 }
 
-let create ?(window = 1024) ~n () =
+let create ?(window = 1024) ?retain ~n () =
   {
     n;
     window;
+    retain;
+    stream = None;
     registry = Metrics.create ();
     spans = Span.create ~n;
-    app_ops = Series.create ~window ~n ();
+    app_ops = Series.create ~window ?retain ~n ();
     steps_per_pid = Array.make n 0;
     steps_by_layer = Array.make_matrix n Sink.n_layers 0;
     idle_steps = 0;
@@ -70,16 +97,110 @@ let create ?(window = 1024) ~n () =
     leader_changes = Array.make n 0;
     current_leader = None;
     handoffs = [];
+    handoffs_len = 0;
     epochs = 0;
     suspicion_flips = 0;
     suspected_counts = Array.make n 0;
     crashes = [];
+    crashes_len = 0;
+    n_crashes = 0;
     net_sent = 0;
     net_dropped = 0;
     net_latency = Hist.create ();
   }
 
+(* Keep an event list bounded in [retain] mode: newest-first truncation,
+   amortized O(1) via the 2× slack. Counts stay exact; only the
+   per-event detail beyond [retained_events] entries is dropped. *)
+let truncate_events t len list =
+  if t.retain <> None && len > 2 * retained_events then
+    List.filteri (fun i _ -> i < retained_events) list, retained_events
+  else list, len
+
+(* --- the v2 stream ------------------------------------------------------- *)
+
+let stream_schema_version = "tbwf-telemetry/v2"
+
+let int_array a = Json.Arr (Array.to_list a |> List.map (fun v -> Json.Int v))
+
+(* One stream record covering window [w] (steps [w·every, (w+1)·every)).
+   Counters are cumulative as of emission time with a [delta] since the
+   previous record, tails are the cumulative per-layer sketches — all
+   derived from event-ordered state, so the stream is byte-identical
+   under replay and at any [--jobs]. *)
+let stream_record t s ~w =
+  let completed_total = Array.fold_left ( + ) 0 t.app_completed in
+  let record =
+    Json.Obj
+      ([
+         "schema", Json.Str stream_schema_version;
+         "window", Json.Int w;
+         "from_step", Json.Int (w * s.st_every);
+         "to_step", Json.Int (((w + 1) * s.st_every) - 1);
+         ( "steps",
+           Json.Obj
+             [
+               "total", Json.Int t.total_steps;
+               "delta", Json.Int (t.total_steps - s.st_steps);
+               "idle", Json.Int t.idle_steps;
+             ] );
+         ( "ops",
+           Json.Obj
+             [
+               "completed", int_array t.app_completed;
+               "completed_total", Json.Int completed_total;
+               "delta", Json.Int (completed_total - s.st_completed);
+             ] );
+         ( "tails",
+           Json.Obj
+             (List.map
+                (fun layer ->
+                  ( Sink.layer_name layer,
+                    Quantile.to_json (Span.tail_of t.spans layer) ))
+                Sink.layers) );
+         ( "leader",
+           Json.Obj
+             [
+               "epochs", Json.Int t.epochs;
+               "delta", Json.Int (t.epochs - s.st_epochs);
+               ( "current",
+                 match t.current_leader with
+                 | Some l -> Json.Int l
+                 | None -> Json.Null );
+             ] );
+         ( "net",
+           Json.Obj
+             [
+               "sent", Json.Int t.net_sent;
+               "sent_delta", Json.Int (t.net_sent - s.st_net_sent);
+               "dropped", Json.Int t.net_dropped;
+               "dropped_delta", Json.Int (t.net_dropped - s.st_net_dropped);
+             ] );
+       ]
+      @ s.st_extra ~window:w)
+  in
+  s.st_steps <- t.total_steps;
+  s.st_completed <- completed_total;
+  s.st_epochs <- t.epochs;
+  s.st_net_sent <- t.net_sent;
+  s.st_net_dropped <- t.net_dropped;
+  s.st_emit record
+
+(* Emit every stream window up to but excluding the one containing
+   [step]. Called from [on_step] — the runtime emits [on_step] before any
+   operation or signal of that step, so when the first step of a new
+   window arrives, every event of the previous windows has been folded. *)
+let stream_roll t s ~step =
+  let target = step / s.st_every in
+  while s.st_window < target do
+    stream_record t s ~w:s.st_window;
+    s.st_window <- s.st_window + 1
+  done
+
 let on_step t ~step ~pid ~layer =
+  (match t.stream with
+  | Some s when step >= (s.st_window + 1) * s.st_every -> stream_roll t s ~step
+  | _ -> ());
   t.total_steps <- t.total_steps + 1;
   t.last_step <- step;
   if pid < 0 then t.idle_steps <- t.idle_steps + 1
@@ -121,13 +242,24 @@ let on_signal t ~step ~pid signal =
     | Some l when l = pid && t.current_leader <> Some l ->
       t.current_leader <- Some l;
       t.epochs <- t.epochs + 1;
-      t.handoffs <- { le_step = step; le_leader = l } :: t.handoffs
+      let handoffs, len =
+        truncate_events t (t.handoffs_len + 1)
+          ({ le_step = step; le_leader = l } :: t.handoffs)
+      in
+      t.handoffs <- handoffs;
+      t.handoffs_len <- len
     | Some _ | None -> ())
   | Sink.Suspicion_flip { watched; suspected } ->
     t.suspicion_flips <- t.suspicion_flips + 1;
     if suspected && watched >= 0 && watched < t.n then
       t.suspected_counts.(watched) <- t.suspected_counts.(watched) + 1
-  | Sink.Crash { pid = crashed } -> t.crashes <- (step, crashed) :: t.crashes
+  | Sink.Crash { pid = crashed } ->
+    t.n_crashes <- t.n_crashes + 1;
+    let crashes, len =
+      truncate_events t (t.crashes_len + 1) ((step, crashed) :: t.crashes)
+    in
+    t.crashes <- crashes;
+    t.crashes_len <- len
   | Sink.Op_complete ->
     if pid >= 0 && pid < t.n then begin
       t.app_completed.(pid) <- t.app_completed.(pid) + 1;
@@ -151,10 +283,43 @@ let sink t =
     on_signal = (fun ~step ~pid s -> on_signal t ~step ~pid s);
   }
 
-let attach ?window rt =
-  let t = create ?window ~n:(Runtime.n rt) () in
+let attach ?window ?retain rt =
+  let t = create ?window ?retain ~n:(Runtime.n rt) () in
   Runtime.set_sink rt (sink t);
   t
+
+(* --- streaming control --------------------------------------------------- *)
+
+let emit_every t ~every ?(extra = fun ~window:_ -> []) emit =
+  if every < 1 then invalid_arg "Collector.emit_every: every must be positive";
+  t.stream <-
+    Some
+      {
+        st_every = every;
+        st_emit = emit;
+        st_extra = extra;
+        st_window = 0;
+        st_completed = 0;
+        st_epochs = 0;
+        st_steps = 0;
+        st_net_sent = 0;
+        st_net_dropped = 0;
+      }
+
+let stream_flush t =
+  match t.stream with
+  | None -> ()
+  | Some s ->
+    (* Emit every window through the one containing the last folded step
+       (a final partial window included), then detach the stream. *)
+    if t.last_step >= 0 then begin
+      let final = t.last_step / s.st_every in
+      while s.st_window <= final do
+        stream_record t s ~w:s.st_window;
+        s.st_window <- s.st_window + 1
+      done
+    end;
+    t.stream <- None
 
 (* --- merging -------------------------------------------------------------- *)
 
@@ -171,6 +336,8 @@ let merge a b =
   if a.n <> b.n then invalid_arg "Collector.merge: process counts differ";
   if a.window <> b.window then
     invalid_arg "Collector.merge: window sizes differ";
+  if a.retain <> b.retain then
+    invalid_arg "Collector.merge: retentions differ";
   let sum_arrays x y = Array.init a.n (fun i -> x.(i) + y.(i)) in
   (* Chronological merge of two step-sorted event lists; on equal steps
      [xs]'s events come first, so merge order is fixed by argument order,
@@ -185,9 +352,20 @@ let merge a b =
     in
     go [] xs ys
   in
+  let handoffs =
+    List.rev
+      (merge_events
+         (fun ev -> ev.le_step)
+         (List.rev a.handoffs) (List.rev b.handoffs))
+  in
+  let crashes =
+    List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes))
+  in
   {
     n = a.n;
     window = a.window;
+    retain = a.retain;
+    stream = None;
     registry = Metrics.merge a.registry b.registry;
     spans = Span.merge a.spans b.spans;
     app_ops = Series.merge a.app_ops b.app_ops;
@@ -208,16 +386,14 @@ let merge a b =
       a.register_abort_decisions + b.register_abort_decisions;
     leader_changes = sum_arrays a.leader_changes b.leader_changes;
     current_leader = None;
-    handoffs =
-      List.rev
-        (merge_events
-           (fun ev -> ev.le_step)
-           (List.rev a.handoffs) (List.rev b.handoffs));
+    handoffs;
+    handoffs_len = a.handoffs_len + b.handoffs_len;
     epochs = a.epochs + b.epochs;
     suspicion_flips = a.suspicion_flips + b.suspicion_flips;
     suspected_counts = sum_arrays a.suspected_counts b.suspected_counts;
-    crashes =
-      List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes));
+    crashes;
+    crashes_len = a.crashes_len + b.crashes_len;
+    n_crashes = a.n_crashes + b.n_crashes;
     net_sent = a.net_sent + b.net_sent;
     net_dropped = a.net_dropped + b.net_dropped;
     net_latency = Hist.merge a.net_latency b.net_latency;
@@ -231,6 +407,7 @@ let merge_all = function
 
 let n t = t.n
 let window t = t.window
+let retain t = t.retain
 let registry t = t.registry
 let spans t = t.spans
 let app_ops t = t.app_ops
@@ -245,6 +422,7 @@ let leader_changes t = Array.copy t.leader_changes
 let handoffs t = List.rev t.handoffs
 let suspicion_flips t = t.suspicion_flips
 let crashes t = List.rev t.crashes
+let crash_count t = t.n_crashes
 let register_abort_decisions t = t.register_abort_decisions
 let net_sent t = t.net_sent
 let net_dropped t = t.net_dropped
@@ -274,8 +452,6 @@ let leader_by_window t =
 (* --- snapshot ------------------------------------------------------------ *)
 
 let schema_version = "tbwf-telemetry/v1"
-
-let int_array a = Json.Arr (Array.to_list a |> List.map (fun v -> Json.Int v))
 
 let snapshot t =
   Json.Obj

@@ -21,14 +21,47 @@ type t
 
 type leader_event = { le_step : int; le_leader : int }
 
-val create : ?window:int -> n:int -> unit -> t
+val create : ?window:int -> ?retain:int -> n:int -> unit -> t
 (** A detached collector ([window] defaults to 1024 steps); feed it by
-    installing {!sink} yourself, or use {!attach}. *)
+    installing {!sink} yourself, or use {!attach}. [retain] bounds live
+    memory for long-horizon runs: the rate series keeps only the most
+    recent [retain] windows (see {!Series.create}) and the timestamped
+    event lists (handoffs, crashes) keep only their most recent entries
+    — all counts stay exact. *)
 
 val sink : t -> Sink.t
 
-val attach : ?window:int -> Runtime.t -> t
+val attach : ?window:int -> ?retain:int -> Runtime.t -> t
 (** [create] sized for the runtime + [Runtime.set_sink]. *)
+
+(** {2 Streaming}
+
+    Periodic JSONL snapshots while the run is still going: one record
+    (schema {!stream_schema_version}) per stream window of [every]
+    steps, each carrying cumulative counters with deltas, the per-layer
+    completion-time tail sketches, leader-epoch churn and the net
+    section. Records derive from event-ordered state only, so the
+    stream is byte-identical under replay and any fan-out. *)
+
+val stream_schema_version : string
+(** ["tbwf-telemetry/v2"]. *)
+
+val emit_every :
+  t ->
+  every:int ->
+  ?extra:(window:int -> (string * Json.t) list) ->
+  (Json.t -> unit) ->
+  unit
+(** [emit_every t ~every f] arranges for [f record] to be called once
+    per [every]-step window, at the first step of the following window
+    (so a record always covers a completed window). [extra] appends
+    caller fields to each record — the hook online checkers use to
+    attach running verdicts without the telemetry layer depending on
+    [lib/check]. Raises [Invalid_argument] if [every < 1]. *)
+
+val stream_flush : t -> unit
+(** Emit the record of the final (possibly partial) window and detach
+    the stream. Call once after the run; no-op if no stream is set. *)
 
 (** {2 Merging}
 
@@ -42,8 +75,9 @@ val merge : t -> t -> t
     cell-wise, and event lists (handoffs, crashes) interleave by step
     with ties broken left-first — commutative up to those ties, so a left
     fold in task-index order is order-fixed and domain-count-independent.
-    Run-local cursor state (current epoch leader) does not survive.
-    Raises [Invalid_argument] if [n] or [window] differ. *)
+    Run-local cursor state (current epoch leader, stream state) does not
+    survive. Raises [Invalid_argument] if [n], [window] or retention
+    differ. *)
 
 val merge_all : t list -> t
 (** Left fold of {!merge}; raises [Invalid_argument] on the empty list. *)
@@ -52,6 +86,7 @@ val merge_all : t list -> t
 
 val n : t -> int
 val window : t -> int
+val retain : t -> int option
 
 val registry : t -> Metrics.t
 (** Caller-defined metrics, exported under ["custom"]. *)
@@ -83,7 +118,10 @@ val leader_by_window : t -> int option array
 
 val suspicion_flips : t -> int
 val crashes : t -> (int * int) list
-(** [(step, pid)] in chronological order. *)
+(** [(step, pid)] in chronological order (the most recent entries only
+    in [retain] mode — {!crash_count} stays exact). *)
+
+val crash_count : t -> int
 
 val register_abort_decisions : t -> int
 

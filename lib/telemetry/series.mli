@@ -6,12 +6,23 @@
 
 type t
 
-val create : ?window:int -> n:int -> unit -> t
-(** [window] defaults to 1024 steps; raises [Invalid_argument] if < 1. *)
+val create : ?window:int -> ?retain:int -> n:int -> unit -> t
+(** [window] defaults to 1024 steps; raises [Invalid_argument] if < 1.
+    [retain] bounds live memory: only the most recent [retain] windows
+    keep per-window cells (a ring buffer); older windows fold into
+    per-pid evicted totals, so {!total}/{!totals} stay exact while
+    {!row} reads zero before {!first_kept} and {!tail_total} is exact
+    only from {!first_kept} on. Omitted = unbounded (the default, and
+    the only mode whose {!to_json} reproduces every window). *)
 
 val window : t -> int
 val windows : t -> int
 (** 1 + the highest window index touched so far. *)
+
+val retain : t -> int option
+val first_kept : t -> int
+(** Lowest window index whose per-window cell is still stored; [0] in
+    unbounded mode. *)
 
 val window_of_step : t -> int -> int
 
@@ -21,8 +32,10 @@ val bump : t -> pid:int -> step:int -> unit
 
 val merge : t -> t -> t
 (** Fresh series with cell-wise summed counts (commutative, associative).
-    Raises [Invalid_argument] if the process counts or window sizes
-    differ. *)
+    Raises [Invalid_argument] if the process counts, window sizes or
+    retentions differ. In bounded mode the merged ring starts at the
+    later [first_kept]; cells only one side still held fold into the
+    evicted totals. *)
 
 val copy : t -> t
 (** Independent deep copy. *)

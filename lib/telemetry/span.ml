@@ -16,12 +16,25 @@ type open_span = {
   mutable os_contended : bool;
 }
 
+(* A well-formed run closes every span it opens, but a sink attached
+   mid-run (or a workload that dies between invoke and respond) can leak
+   open spans; capping the per-pid list keeps the tracer memory-bounded
+   on arbitrarily long runs. 256 in-flight ops per process is far beyond
+   anything a real stack issues. *)
+let max_open_spans = 256
+
 type t = {
   n : int;
   latency : Hist.t array;  (* indexed by Sink.layer_index *)
+  tails : Quantile.t array;  (* per-layer completion-time sketch *)
   open_spans : open_span list array;  (* per pid, newest first *)
-  open_count : (int, int) Hashtbl.t;  (* obj_id -> in-flight spans *)
-  in_window : (int, bool) Hashtbl.t;  (* obj_id -> contention window open *)
+  open_len : int array;  (* per pid, length of [open_spans.(pid)] *)
+  (* obj_id is the runtime's dense sequential object id, so the
+     per-object in-flight state lives in flat arrays grown on demand —
+     this is the sink's hot path (two updates per register operation)
+     and a hash table here costs an allocation per call. *)
+  mutable open_count : int array;  (* obj_id -> in-flight spans *)
+  mutable in_window : bool array;  (* obj_id -> contention window open *)
   abort_streak : int array;  (* per pid, current run of Abort results *)
   streaks : Hist.t;  (* lengths of completed abort streaks *)
   mutable completed : int;
@@ -29,13 +42,17 @@ type t = {
   mutable contention_windows : int;
 }
 
+let initial_objs = 64
+
 let create ~n =
   {
     n;
     latency = Array.init Sink.n_layers (fun _ -> Hist.create ());
+    tails = Array.init Sink.n_layers (fun _ -> Quantile.create ());
     open_spans = Array.make n [];
-    open_count = Hashtbl.create 64;
-    in_window = Hashtbl.create 64;
+    open_len = Array.make n 0;
+    open_count = Array.make initial_objs 0;
+    in_window = Array.make initial_objs false;
     abort_streak = Array.make n 0;
     streaks = Hist.create ();
     completed = 0;
@@ -43,24 +60,41 @@ let create ~n =
     contention_windows = 0;
   }
 
-let opens_of t obj_id =
-  Option.value (Hashtbl.find_opt t.open_count obj_id) ~default:0
+let ensure_obj t obj_id =
+  if obj_id >= Array.length t.open_count then begin
+    let cap = max (2 * Array.length t.open_count) (obj_id + 1) in
+    let open_count = Array.make cap 0 in
+    Array.blit t.open_count 0 open_count 0 (Array.length t.open_count);
+    t.open_count <- open_count;
+    let in_window = Array.make cap false in
+    Array.blit t.in_window 0 in_window 0 (Array.length t.in_window);
+    t.in_window <- in_window
+  end
 
 let on_invoke t ~pid ~obj_id ~step =
-  if pid >= 0 && pid < t.n then begin
+  if pid >= 0 && pid < t.n && obj_id >= 0 then begin
+    ensure_obj t obj_id;
     let sp = { os_obj = obj_id; os_invoke = step; os_contended = false } in
-    let opens = opens_of t obj_id + 1 in
-    Hashtbl.replace t.open_count obj_id opens;
-    t.open_spans.(pid) <- sp :: t.open_spans.(pid);
+    let opens = t.open_count.(obj_id) + 1 in
+    t.open_count.(obj_id) <- opens;
+    let existing = t.open_spans.(pid) in
+    let existing =
+      if t.open_len.(pid) >= max_open_spans then begin
+        t.open_len.(pid) <- max_open_spans - 1;
+        List.filteri (fun i _ -> i < max_open_spans - 1) existing
+      end
+      else existing
+    in
+    t.open_spans.(pid) <- sp :: existing;
+    t.open_len.(pid) <- t.open_len.(pid) + 1;
     if opens >= 2 then begin
       (* Everyone currently in flight on this object is contended. *)
       Array.iter
         (List.iter (fun other ->
              if other.os_obj = obj_id then other.os_contended <- true))
         t.open_spans;
-      if not (Option.value (Hashtbl.find_opt t.in_window obj_id) ~default:false)
-      then begin
-        Hashtbl.replace t.in_window obj_id true;
+      if not t.in_window.(obj_id) then begin
+        t.in_window.(obj_id) <- true;
         t.contention_windows <- t.contention_windows + 1
       end
     end
@@ -80,12 +114,15 @@ let on_respond t ~pid ~layer ~obj_id ~step ~aborted =
     | None -> ()
     | Some (sp, rest) ->
       t.open_spans.(pid) <- rest;
+      t.open_len.(pid) <- t.open_len.(pid) - 1;
       t.completed <- t.completed + 1;
       Hist.observe t.latency.(Sink.layer_index layer) (step - sp.os_invoke);
+      Quantile.observe t.tails.(Sink.layer_index layer) (step - sp.os_invoke);
       if sp.os_contended then t.contended_spans <- t.contended_spans + 1;
-      let opens = max 0 (opens_of t obj_id - 1) in
-      Hashtbl.replace t.open_count obj_id opens;
-      if opens = 0 then Hashtbl.replace t.in_window obj_id false);
+      ensure_obj t obj_id;
+      let opens = max 0 (t.open_count.(obj_id) - 1) in
+      t.open_count.(obj_id) <- opens;
+      if opens = 0 then t.in_window.(obj_id) <- false);
     if aborted then t.abort_streak.(pid) <- t.abort_streak.(pid) + 1
     else if t.abort_streak.(pid) > 0 then begin
       Hist.observe t.streaks t.abort_streak.(pid);
@@ -102,9 +139,11 @@ let merge a b =
   {
     n = a.n;
     latency = Array.init Sink.n_layers (fun i -> Hist.merge a.latency.(i) b.latency.(i));
+    tails = Array.init Sink.n_layers (fun i -> Quantile.merge a.tails.(i) b.tails.(i));
     open_spans = Array.make a.n [];
-    open_count = Hashtbl.create 64;
-    in_window = Hashtbl.create 64;
+    open_len = Array.make a.n 0;
+    open_count = Array.make initial_objs 0;
+    in_window = Array.make initial_objs false;
     abort_streak = Array.make a.n 0;
     streaks = Hist.merge a.streaks b.streaks;
     completed = a.completed + b.completed;
@@ -113,6 +152,7 @@ let merge a b =
   }
 
 let latency_of t layer = t.latency.(Sink.layer_index layer)
+let tail_of t layer = t.tails.(Sink.layer_index layer)
 let completed t = t.completed
 
 let to_json t =
@@ -124,6 +164,12 @@ let to_json t =
           (List.map
              (fun layer ->
                Sink.layer_name layer, Hist.to_json (latency_of t layer))
+             Sink.layers) );
+      ( "tails",
+        Json.Obj
+          (List.map
+             (fun layer ->
+               Sink.layer_name layer, Quantile.to_json (tail_of t layer))
              Sink.layers) );
       "abort_streaks", Hist.to_json t.streaks;
       ( "open_abort_streaks",

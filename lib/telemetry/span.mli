@@ -29,6 +29,10 @@ val on_respond :
 val completed : t -> int
 val latency_of : t -> Sink.layer -> Hist.t
 
+val tail_of : t -> Sink.layer -> Quantile.t
+(** Per-layer completion-time quantile sketch (p50/p99/p999 tails over
+    the same spans {!latency_of} histograms). *)
+
 val merge : t -> t -> t
 (** Fresh tracer holding both inputs' closed-span aggregates (latency and
     streak histograms summed bucket-wise, totals added). In-flight state

@@ -185,14 +185,42 @@ let test_e17 () =
         row.E17_network.cells)
     r.E17_network.rows
 
+let test_e18 () =
+  let r = E18_stochastic.compute ~quick:true () in
+  (* The practically-wait-free gap: the baselines keep a strictly smaller
+     share of their stochastic-scheduler throughput under the adversary
+     than any TBWF system, with real separation between the
+     populations. *)
+  Alcotest.(check bool)
+    (Fmt.str "retention separates populations (tbwf min %.2f > baseline \
+              max %.2f)"
+       r.E18_stochastic.tbwf_min_retention
+       r.E18_stochastic.baseline_max_retention)
+    true
+    (r.E18_stochastic.tbwf_min_retention
+    > 2.0 *. r.E18_stochastic.baseline_max_retention);
+  (* Under the uniform stochastic scheduler everything completes
+     operations — including the baselines the campaigns reject. *)
+  List.iter
+    (fun (system, regimes) ->
+      match List.assoc_opt E18_stochastic.Uniform regimes with
+      | None -> Alcotest.failf "missing uniform cell"
+      | Some c ->
+        Alcotest.(check bool)
+          (Fmt.str "%s completes under the stochastic scheduler"
+             (Tbwf_system.System.to_string system))
+          true
+          (c.E18_stochastic.completed > 0))
+    r.E18_stochastic.cells
+
 let test_registry_complete () =
-  Alcotest.(check int) "seventeen experiments registered" 17
+  Alcotest.(check int) "eighteen experiments registered" 18
     (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) (Fmt.str "%s findable" id) true
         (Registry.find id <> None))
-    [ "E1"; "e1"; "E5"; "E15"; "E16"; "E17" ];
+    [ "E1"; "e1"; "E5"; "E15"; "E16"; "E17"; "E18" ];
   Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
 
 let () =
@@ -217,6 +245,7 @@ let () =
           Alcotest.test_case "E15 exploration" `Slow test_e15;
           Alcotest.test_case "E16 nemesis matrix" `Slow test_e16;
           Alcotest.test_case "E17 network matrix" `Slow test_e17;
+          Alcotest.test_case "E18 practically wait-free" `Slow test_e18;
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
         ] );
     ]

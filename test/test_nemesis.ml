@@ -386,6 +386,35 @@ let test_campaign_mp_smoke () =
             (Some true) dv.dv_quorate)
       v.Tbwf_check.Degradation.processes
 
+(* The tentpole differential: the online checker consumed the very same
+   event stream the run produced, so its verdict must equal the post-hoc
+   checker's — field for field, on every (campaign, system) cell of the
+   matrix, on both substrates. Structural equality covers the whole
+   verdict record including per-process sub-verdicts. *)
+let test_online_differential () =
+  let pool = Tbwf_parallel.Pool.create () in
+  let check_matrix label ?substrate () =
+    let m = Campaign.run_matrix ?substrate ~pool ~quick:true () in
+    List.iter
+      (fun o ->
+        List.iter
+          (fun r ->
+            let rr = r.Campaign.row_result in
+            Alcotest.(check bool)
+              (Fmt.str "%s/%s/%s online = post-hoc" label
+                 (Campaign.name o.Campaign.o_campaign)
+                 (Campaign.system_name r.Campaign.row_system))
+              true
+              (rr.Campaign.rr_online = rr.Campaign.rr_verdict))
+          o.Campaign.o_rows)
+      m.Campaign.m_outcomes
+  in
+  check_matrix "shared-memory" ();
+  check_matrix "message-passing"
+    ~substrate:
+      (Tbwf_system.System.Message_passing Tbwf_net.Net.default_config)
+    ()
+
 (* The fuzz demo: the planted bug needs both fuzz dimensions (a plan with
    an abort ramp AND a schedule that runs the writer), the shrunk plan
    still fails, and it replays byte-identically from its serialization. *)
@@ -442,6 +471,8 @@ let () =
             test_campaign_smoke;
           Alcotest.test_case "client cut over message passing" `Slow
             test_campaign_mp_smoke;
+          Alcotest.test_case "online verdicts equal post-hoc (both substrates)"
+            `Slow test_online_differential;
         ] );
       ( "fuzz",
         [ Alcotest.test_case "planted bug found and replayed" `Quick

@@ -56,6 +56,60 @@ let test_series_growth () =
   Alcotest.(check bool) "every window holds 2" true
     (Array.for_all (fun c -> c = 2) (Series.row s ~pid:0))
 
+(* --- Quantile ------------------------------------------------------------- *)
+
+let test_quantile_exact_small () =
+  let q = Quantile.create () in
+  for v = 0 to 15 do
+    Quantile.observe q v
+  done;
+  Alcotest.(check int) "count" 16 (Quantile.count q);
+  Alcotest.(check int) "max" 15 (Quantile.max_value q);
+  (* values 0..15 live in exact buckets: every quantile is exact *)
+  Alcotest.(check int) "p50 exact" 7 (Quantile.quantile q 0.5);
+  Alcotest.(check int) "p999 is max" 15 (Quantile.p999 q);
+  Quantile.observe q (-3);
+  Alcotest.(check int) "negative clamps to 0" 17 (Quantile.count q)
+
+let test_quantile_error_bound () =
+  let q = Quantile.create () in
+  List.iter (Quantile.observe q) [ 100; 1_000; 50_000; 1_000_000 ];
+  List.iter
+    (fun (v, p) ->
+      let b = Quantile.quantile q p in
+      Alcotest.(check bool)
+        (Fmt.str "upper bound at p=%.3f (%d for %d)" p b v)
+        true
+        (b >= v && b - v <= (v / 16) + 1))
+    [ 100, 0.25; 1_000, 0.5; 50_000, 0.75; 1_000_000, 1.0 ];
+  Alcotest.(check int) "max clamps the top quantile" 1_000_000
+    (Quantile.p999 q)
+
+let sketch_of values =
+  let q = Quantile.create () in
+  List.iter (Quantile.observe q) values;
+  q
+
+let qcheck_quantile_merge_algebra =
+  QCheck.Test.make
+    ~name:"quantile merge is associative, commutative and order-free"
+    ~count:100
+    QCheck.(
+      triple
+        (small_list (int_range 0 100_000))
+        (small_list (int_range 0 100_000))
+        (small_list (int_range 0 100_000)))
+    (fun (xs, ys, zs) ->
+      let a = sketch_of xs and b = sketch_of ys and c = sketch_of zs in
+      Quantile.equal
+        (Quantile.merge (Quantile.merge a b) c)
+        (Quantile.merge a (Quantile.merge b c))
+      && Quantile.equal (Quantile.merge a b) (Quantile.merge b a)
+      (* merging sketches = sketching the concatenation, any order *)
+      && Quantile.equal
+           (Quantile.merge a (Quantile.merge b c))
+           (sketch_of (List.rev_append xs (List.rev_append ys zs))))
+
 (* --- Span ---------------------------------------------------------------- *)
 
 let test_span_latency_and_streaks () =
@@ -273,6 +327,111 @@ let test_merge_tie_break_order () =
     [ 10, 2; 10, 0; 20, 0; 20, 1 ]
     (leaders (Collector.merge b a))
 
+(* --- merge edge cases ------------------------------------------------------ *)
+
+let test_merge_empty_collectors () =
+  let a = Collector.create ~n:2 () and b = Collector.create ~n:2 () in
+  let m = Collector.merge a b in
+  Alcotest.(check int) "no steps" 0 (Collector.total_steps m);
+  Alcotest.(check (array int)) "no completions" [| 0; 0 |]
+    (Collector.app_completed m);
+  Alcotest.(check int) "no handoffs" 0 (List.length (Collector.handoffs m));
+  Alcotest.(check bool) "snapshot still renders" true
+    (String.length (Collector.snapshot_string m) > 0);
+  Alcotest.check_raises "mismatched n rejected"
+    (Invalid_argument "Collector.merge: process counts differ")
+    (fun () -> ignore (Collector.merge a (Collector.create ~n:3 ())))
+
+(* Merging a shared-memory collector (no net events, zero counters) with
+   a message-passing one must keep the net section additive — the soak
+   aggregate merges whatever shards a system ran on. *)
+let test_merge_net_section () =
+  let sm = Collector.create ~n:2 () in
+  let mp = Collector.create ~n:2 () in
+  let sink = Collector.sink mp in
+  sink.Sink.on_signal ~step:5 ~pid:0
+    (Sink.Message { src = 0; dst = 1; latency = 3; dropped = false });
+  sink.Sink.on_signal ~step:6 ~pid:1
+    (Sink.Message { src = 1; dst = 0; latency = 2; dropped = true });
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "sent sums" 2 (Collector.net_sent m);
+      Alcotest.(check int) "dropped sums" 1 (Collector.net_dropped m);
+      Alcotest.(check int) "only delivered latencies" 1
+        (Hist.count (Collector.net_latency m)))
+    [ Collector.merge sm mp; Collector.merge mp sm ]
+
+(* --- v2 stream schema golden ---------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let stream_schema_golden () =
+  (* dune runtest runs with cwd = _build/default/test; `dune exec` from
+     the repo root does not. *)
+  match
+    List.find_opt Sys.file_exists
+      [ "golden/telemetry_stream.schema"; "test/golden/telemetry_stream.schema" ]
+  with
+  | Some p -> read_file p
+  | None -> Alcotest.fail "telemetry_stream.schema golden not found"
+
+let test_stream_schema_pinned () =
+  let stack = build_stack ~seed:42L in
+  let rt = stack.Scenario.rt in
+  let telemetry = Collector.attach ~window:256 rt in
+  let tm = Tbwf_check.Tail_monitor.create ~n:3 ~window:2000 () in
+  Runtime.set_sink rt
+    (Sink.tee (Tbwf_check.Tail_monitor.sink tm) (Collector.sink telemetry));
+  let last = ref None in
+  Collector.emit_every telemetry ~every:2000
+    ~extra:(fun ~window:_ ->
+      [ "tail_monitor", Tbwf_check.Tail_monitor.to_json tm ])
+    (fun record -> last := Some record);
+  Runtime.run rt ~policy:(Policy.round_robin ()) ~steps:6_000;
+  Collector.stream_flush telemetry;
+  Runtime.stop rt;
+  match !last with
+  | None -> Alcotest.fail "no stream record emitted"
+  | Some record ->
+    Alcotest.(check string) "tbwf-telemetry/v2 record schema"
+      (stream_schema_golden ())
+      (Json.schema_string record)
+
+(* --- bounded live memory --------------------------------------------------- *)
+
+(* The long-horizon configuration (no trace recording, a retained rate
+   series, capped event lists, fixed-size sketches) must hold the
+   collector's live words flat: 10x the steps, no growth. This is the
+   invariant that lets tbwf_soak run tens of millions of steps in a few
+   dozen MB. *)
+let live_words_after steps =
+  let n = 4 in
+  let stack =
+    Tbwf_system.System.build ~seed:11L ~record_trace:false ~telemetry:true
+      ~telemetry_window:256 ~telemetry_retain:64 ~n
+      Tbwf_system.System.Tbwf_atomic
+  in
+  let rt = stack.Tbwf_system.System.rt in
+  let telemetry = Option.get stack.Tbwf_system.System.telemetry in
+  Runtime.run rt
+    ~policy:(Scenario.degraded_policy ~n ~timely:[ 1; 2; 3 ] ())
+    ~steps;
+  Runtime.stop rt;
+  Obj.reachable_words (Obj.repr telemetry)
+
+let test_bounded_live_words () =
+  let short = live_words_after 100_000 in
+  let long = live_words_after 1_000_000 in
+  Alcotest.(check bool)
+    (Fmt.str "live words bounded (%d @ 100k steps, %d @ 1M)" short long)
+    true
+    (long <= short + (short / 10))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -285,6 +444,14 @@ let () =
         [
           Alcotest.test_case "windows" `Quick test_series_windows;
           Alcotest.test_case "growth" `Quick test_series_growth;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "exact small values" `Quick
+            test_quantile_exact_small;
+          Alcotest.test_case "relative error bound" `Quick
+            test_quantile_error_bound;
+          QCheck_alcotest.to_alcotest qcheck_quantile_merge_algebra;
         ] );
       ( "span",
         [
@@ -308,6 +475,17 @@ let () =
             test_snapshot_deterministic;
           Alcotest.test_case "merge tie-break order" `Quick
             test_merge_tie_break_order;
+          Alcotest.test_case "merge of empty collectors" `Quick
+            test_merge_empty_collectors;
+          Alcotest.test_case "merge net section (SM vs MP)" `Quick
+            test_merge_net_section;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "v2 record schema pinned" `Quick
+            test_stream_schema_pinned;
+          Alcotest.test_case "bounded live words over 1M steps" `Slow
+            test_bounded_live_words;
         ] );
       ( "replay",
         [ QCheck_alcotest.to_alcotest qcheck_snapshot_replay_stable ] );
