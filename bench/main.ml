@@ -232,7 +232,38 @@ let run_json () =
   in
   (* Per-layer step throughput, including the telemetry overhead pair. *)
   let throughput = Tbwf_experiments.E10_throughput.compute ~quick () in
-  let rows = throughput.Tbwf_experiments.E10_throughput.rows in
+  (* The sharded world layer, timed end to end as one more throughput
+     row: a whole [World.run] — open-loop clients, churn compiled onto
+     per-shard fault plans, collectors folded in shard order — over the
+     same total step budget as the single-cell layers. *)
+  let world_config =
+    let shards = 8 in
+    let horizon = (if quick then 20_000 else 200_000) / shards in
+    { Tbwf_world.World.default with Tbwf_world.World.shards; horizon }
+  in
+  let time_world ~domains =
+    let pool =
+      if domains <= 1 then None
+      else Some (Tbwf_parallel.Pool.create ~domains ())
+    in
+    let start = Unix.gettimeofday () in
+    let summary = Tbwf_world.World.run ?pool world_config in
+    summary, Unix.gettimeofday () -. start
+  in
+  let world_summary, world_s1 = time_world ~domains:1 in
+  let world_row =
+    let steps = world_summary.Tbwf_world.World.sum_steps in
+    {
+      Tbwf_experiments.E10_throughput.layer = "sharded world (open-loop + churn)";
+      steps;
+      seconds = world_s1;
+      steps_per_sec =
+        (if world_s1 > 0.0 then float_of_int steps /. world_s1 else 0.0);
+    }
+  in
+  let rows =
+    throughput.Tbwf_experiments.E10_throughput.rows @ [ world_row ]
+  in
   let row_json r =
     let open Tbwf_experiments.E10_throughput in
     Json.Obj
@@ -336,6 +367,44 @@ let run_json () =
         "speedup", Json.Float speedup;
       ]
   in
+  (* The world layer's own record: scale facts the flat throughput row
+     cannot carry (process count, shard fan-out, ops rate, per-domain
+     speedup). The stdout artifact is byte-identical at any domain
+     count, so only the wall clock distinguishes the two timings. *)
+  let world =
+    let open Tbwf_world in
+    let _, sn = time_world ~domains:jobs in
+    let speedup = if sn > 0.0 then world_s1 /. sn else 0.0 in
+    let steps = world_summary.World.sum_steps in
+    Fmt.pr
+      "world: %d shards (%d processes) %.2fs at 1 job, %.2fs at %d jobs \
+       (x%.2f)@."
+      world_config.World.shards
+      (world_config.World.shards * world_config.World.n)
+      world_s1 sn jobs speedup;
+    Json.Obj
+      [
+        "shards", Json.Int world_config.World.shards;
+        "n", Json.Int world_config.World.n;
+        "total_processes",
+        Json.Int (world_config.World.shards * world_config.World.n);
+        "steps", Json.Int steps;
+        "ops_completed", Json.Int world_summary.World.sum_completed;
+        "steps_per_sec",
+        Json.Float
+          (if world_s1 > 0.0 then float_of_int steps /. world_s1 else 0.0);
+        "ops_per_sec",
+        Json.Float
+          (if world_s1 > 0.0 then
+             float_of_int world_summary.World.sum_completed /. world_s1
+           else 0.0);
+        "all_hold", Json.Bool world_summary.World.sum_all_hold;
+        "jobs", Json.Int jobs;
+        "seconds_jobs_1", Json.Float world_s1;
+        "seconds_jobs_n", Json.Float sn;
+        "speedup", Json.Float speedup;
+      ]
+  in
   let date =
     let tm = Unix.localtime (Unix.time ()) in
     Fmt.str "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -358,6 +427,7 @@ let run_json () =
         "streaming_overhead", streaming_overhead;
         "substrate_overhead", substrate_overhead;
         "parallel_fanout", parallel_fanout;
+        "world", world;
       ]
   in
   let path =

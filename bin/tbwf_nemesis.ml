@@ -92,6 +92,22 @@ let matrix backend substrate full seed jobs =
     Campaign.run_matrix ~backend ~substrate ~pool:(pool_of jobs)
       ~quick:(not full) ~seed:(Int64.of_int seed) ()
   in
+  (* Self-describing dimensions header: the substrate cost factor scales
+     the horizons *and* divides the tail-rate floor, so a matrix reader
+     can audit every cell's floor without consulting the source. On
+     shared memory the factor is 1 and the line still says so. *)
+  let n, horizon =
+    Campaign.substrate_dimensions ~substrate ~quick:(not full) ()
+  in
+  let factor =
+    match substrate with
+    | Tbwf_system.System.Shared_memory -> 1
+    | Tbwf_system.System.Message_passing _ -> Campaign.net_cost_factor
+  in
+  Fmt.pf fmt
+    "dimensions   n=%d horizon=%d net-cost-factor=%d (horizon x%d, \
+     tail-rate floor /%d)@."
+    n horizon factor factor factor;
   (* campaign × system grid of degradation verdicts *)
   Fmt.pf fmt "%-12s" "";
   List.iter

@@ -40,6 +40,9 @@ type shard_result = {
   sr_verdict : Tbwf_check.Degradation.verdict;
   sr_expected_fail : bool;
   sr_seconds : float;
+  sr_rss_kb : int option;
+      (* process VmHWM when the shard finished: host diagnostics for
+         stderr, never part of the stdout artifact *)
 }
 
 let run_shard ~shard ~n ~horizon ~every ~window ~retain ~master_seed =
@@ -107,6 +110,7 @@ let run_shard ~shard ~n ~horizon ~every ~window ~retain ~master_seed =
     sr_verdict = verdict;
     sr_expected_fail = List.mem system (Campaign.expect_fail campaign);
     sr_seconds = Unix.gettimeofday () -. start;
+    sr_rss_kb = Resource.peak_rss_kb ();
   }
 
 (* The aggregate record: per-system merged telemetry (collectors merge
@@ -218,15 +222,21 @@ let soak shards steps every window retain n seed jobs =
         |> Array.to_list
       in
       let wall = Unix.gettimeofday () -. start in
+      (* rss is the process VmHWM when the shard finished — the shard
+         whose line first shows a jump is the one that pushed the
+         high-water mark *)
       List.iter
         (fun r ->
           print_string r.sr_jsonl;
-          Fmt.epr "shard %2d %-16s %-12s %s %6.2fs@." r.sr_shard
+          Fmt.epr "shard %2d %-16s %-12s %s %6.2fs%s@." r.sr_shard
             (Campaign.system_name r.sr_system)
             r.sr_campaign
             (if r.sr_verdict.Tbwf_check.Degradation.holds then "holds"
              else "fails")
-            r.sr_seconds)
+            r.sr_seconds
+            (match r.sr_rss_kb with
+            | Some kb -> Fmt.str " rss %d kB" kb
+            | None -> ""))
         results;
       let agg = aggregate ~n ~horizon:steps ~every ~shards results in
       print_string (Json.to_string agg);

@@ -27,6 +27,7 @@ let node_of_name s =
 
 type atom =
   | Crash of { pid : int; at : int }
+  | Retire of { pid : int; at : int }
   | Slow of { pid : int; at : int; gap : int; growth : float }
   | Timely of { pid : int; at : int; period : int }
   | Flicker of { pid : int; at : int; active : int; sleep : int; growth : float }
@@ -65,7 +66,7 @@ let version2 = "v2"
 
 let known_kinds =
   [
-    "crash"; "slow"; "timely"; "flicker"; "abort-ramp"; "staleness";
+    "crash"; "retire"; "slow"; "timely"; "flicker"; "abort-ramp"; "staleness";
     "partition"; "heal"; "delay-ramp"; "drop"; "crash-replica";
   ]
 
@@ -73,7 +74,7 @@ let known_kinds =
    plans built from v1 atoms alone keep serializing byte-identically to
    the historical format. *)
 let is_v2_atom = function
-  | Partition _ | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _
+  | Retire _ | Partition _ | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _
   | Unknown _ ->
     true
   | Crash _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _ | Staleness _ ->
@@ -99,6 +100,9 @@ let validate_atom ~n ~replicas ~horizon atom =
   let ( let* ) = Result.bind in
   match atom with
   | Crash { pid; at } ->
+    let* () = pid_ok pid in
+    step_ok at
+  | Retire { pid; at } ->
     let* () = pid_ok pid in
     step_ok at
   | Slow { pid; at; gap; growth } ->
@@ -191,6 +195,7 @@ let float_str f = Fmt.str "%.12g" f
 
 let atom_to_string = function
   | Crash { pid; at } -> Fmt.str "crash pid=%d at=%d" pid at
+  | Retire { pid; at } -> Fmt.str "retire pid=%d at=%d" pid at
   | Slow { pid; at; gap; growth } ->
     Fmt.str "slow pid=%d at=%d gap=%d growth=%s" pid at gap (float_str growth)
   | Timely { pid; at; period } ->
@@ -274,6 +279,10 @@ let atom_of_string ~v2 line =
       let* pid = int_field assoc "pid" in
       let* at = int_field assoc "at" in
       Ok (Crash { pid; at })
+    | "retire" ->
+      let* pid = int_field assoc "pid" in
+      let* at = int_field assoc "at" in
+      Ok (Retire { pid; at })
     | "slow" ->
       let* pid = int_field assoc "pid" in
       let* at = int_field assoc "at" in
@@ -401,6 +410,10 @@ let crashed_pids t =
   List.filter_map (function Crash { pid; _ } -> Some pid | _ -> None) t.atoms
   |> List.sort_uniq compare
 
+let retired_pids t =
+  List.filter_map (function Retire { pid; _ } -> Some pid | _ -> None) t.atoms
+  |> List.sort_uniq compare
+
 let crashed_replicas t =
   List.filter_map
     (function Crash_replica { r; _ } -> Some r | _ -> None)
@@ -416,7 +429,7 @@ let timeline_atoms t pid =
     (function
       | Slow { pid = p; _ } | Timely { pid = p; _ } | Flicker { pid = p; _ } ->
         p = pid
-      | Crash _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
+      | Crash _ | Retire _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
       | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
         false)
     t.atoms
@@ -424,29 +437,32 @@ let timeline_atoms t pid =
        (fun a b ->
          let at = function
            | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } -> at
-           | Crash _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
-           | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
+           | Crash _ | Retire _ | Abort_ramp _ | Staleness _ | Partition _
+           | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
              assert false
          in
          compare (at a) (at b))
 
 let predicted_timely t =
   let crashed = crashed_pids t in
+  let retired = retired_pids t in
   List.init t.n Fun.id
   |> List.filter (fun pid ->
          (not (List.mem pid crashed))
+         && (not (List.mem pid retired))
          &&
          match List.rev (timeline_atoms t pid) with
          | [] | Timely _ :: _ -> true
          | (Slow _ | Flicker _) :: _ -> false
-         | ( Crash _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
-           | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ )
+         | ( Crash _ | Retire _ | Abort_ramp _ | Staleness _ | Partition _
+           | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ )
            :: _ ->
            assert false)
 
 let settle_step t =
   let atom_settle = function
-    | Crash { at; _ } | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } ->
+    | Crash { at; _ } | Retire { at; _ } | Slow { at; _ } | Timely { at; _ }
+    | Flicker { at; _ } ->
       at
     | Staleness { until; _ } -> until
     | Abort_ramp { from; until; _ } | Delay_ramp { from; until; _ }
@@ -555,8 +571,8 @@ let pattern_of_atom t = function
     Policy.Slowing { initial_gap = gap; growth; burst = 8 * t.n }
   | Timely { period; pid; _ } -> Policy.Every { period; offset = pid mod period }
   | Flicker { active; sleep; growth; _ } -> Policy.Flicker { active; sleep; growth }
-  | Crash _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _ | Delay_ramp _
-  | Drop _ | Crash_replica _ | Unknown _ ->
+  | Crash _ | Retire _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
+  | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
     assert false
 
 let pattern t pid =
@@ -565,8 +581,8 @@ let pattern t pid =
       let at =
         match atom with
         | Slow { at; _ } | Timely { at; _ } | Flicker { at; _ } -> at
-        | Crash _ | Abort_ramp _ | Staleness _ | Partition _ | Heal _
-        | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
+        | Crash _ | Retire _ | Abort_ramp _ | Staleness _ | Partition _
+        | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _ | Unknown _ ->
           assert false
       in
       Policy.Switch_at (at, before, pattern_of_atom t atom))
@@ -580,6 +596,7 @@ let install_crashes t rt =
   List.iter
     (function
       | Crash { pid; at } -> Runtime.crash_at rt ~pid ~step:at
+      | Retire { pid; at } -> Runtime.retire ~at rt ~pid
       | Crash_replica { r; at } ->
         (* Replica server pids sit after the clients; the caller is
            responsible for sizing the runtime n + replicas wide. *)
@@ -616,8 +633,8 @@ let net_events t =
                rate1;
                node = Option.map (node_pid t) node;
              })
-      | Crash _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _ | Staleness _
-      | Crash_replica _ | Unknown _ ->
+      | Crash _ | Retire _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _
+      | Staleness _ | Crash_replica _ | Unknown _ ->
         None)
     t.atoms
 
@@ -648,9 +665,9 @@ let abort_policy t ~target ~base =
           Some (fun (ctx : Shared.ctx) ->
               ctx.respond_step >= from && ctx.respond_step < until
               && Value.is_write ctx.op)
-        | Crash _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _ | Staleness _
-        | Partition _ | Heal _ | Delay_ramp _ | Drop _ | Crash_replica _
-        | Unknown _ ->
+        | Crash _ | Retire _ | Slow _ | Timely _ | Flicker _ | Abort_ramp _
+        | Staleness _ | Partition _ | Heal _ | Delay_ramp _ | Drop _
+        | Crash_replica _ | Unknown _ ->
           None)
       t.atoms
   in

@@ -37,6 +37,12 @@ type atom =
   | Crash of { pid : int; at : int }
       (** the process halts forever at step [at]; any in-flight operation
           is resolved by the runtime's crash semantics *)
+  | Retire of { pid : int; at : int }
+      (** v2: the process gracefully leaves the membership at step [at]
+          ({!Tbwf_sim.Runtime.retire}): its in-flight operation is
+          resolved like a crash's, but the departure emits
+          [Sink.Retire] — a planned leave, not a failure. The pid is
+          excluded from the plan's timely prediction. *)
   | Slow of { pid : int; at : int; gap : int; growth : float }
       (** from [at], the process's scheduling gap starts at [gap] and
           grows by [growth] each visit — a decelerating process, the
@@ -137,8 +143,9 @@ val pp : Format.formatter -> t -> unit
 (** {2 Prediction} *)
 
 val predicted_timely : t -> int list
-(** Pids expected to be timely in the tail: not crashed, and the last
-    schedule-affecting atom on their timeline (if any) is [Timely]. *)
+(** Pids expected to be timely in the tail: not crashed, not retired,
+    and the last schedule-affecting atom on their timeline (if any) is
+    [Timely]. *)
 
 val settle_step : t -> int
 (** The step after which no further fault changes the system's regime:
@@ -174,8 +181,9 @@ val policy : ?name:string -> t -> Tbwf_sim.Policy.t
     stay on the base rotation. *)
 
 val install_crashes : t -> Tbwf_sim.Runtime.t -> unit
-(** Registers every [Crash] atom via {!Tbwf_sim.Runtime.crash_at}, and
-    every [Crash_replica {r; _}] as pid [n + r] — the runtime must be
+(** Registers every [Crash] atom via {!Tbwf_sim.Runtime.crash_at}, every
+    [Retire] atom via {!Tbwf_sim.Runtime.retire}, and every
+    [Crash_replica {r; _}] as pid [n + r] — the runtime must be
     [n + replicas] processes wide when the plan has replica atoms. *)
 
 val net_events : t -> Tbwf_net.Net.event list

@@ -49,14 +49,25 @@ type proc = {
   mutable live : int;
   mutable next_task : int;  (* round-robin cursor *)
   mutable is_crashed : bool;
+  mutable is_retired : bool;
 }
 
+(* Deferred membership events: late task activations and graceful
+   retirements scheduled for a future step. [crashes] predates this list
+   and keeps its own (unsorted, prepend-order) representation; events
+   carry a creation sequence number so same-step events apply in the
+   deterministic order they were scheduled, independent of list shape. *)
+type event_kind =
+  | Ev_task of { pid : int; name : string; layer : Sink.layer;
+                 state : task_state }
+  | Ev_retire of int
+
 type t = {
-  num : int;
+  mutable num : int;
   rng : Rng.t;
   obj_rng : Rng.t;
   trace : Trace.t;
-  procs : proc array;
+  mutable procs : proc array;  (* first [num] slots are the processes *)
   mutable step : int;
   mutable next_obj_id : int;
   (* Object ids are dense (allocated by [register_object]), so in-flight
@@ -65,6 +76,9 @@ type t = {
   mutable events_by_obj : int array;
       (* obj id -> number of invocation/response events so far *)
   mutable crashes : (int * int) list;  (* (step, pid), unsorted *)
+  mutable events : (int * int * event_kind) list;
+      (* (due step, creation seq, kind), unsorted *)
+  mutable next_event_seq : int;
   mutable sink : Sink.t;  (* telemetry sink; Sink.nil = disabled *)
   (* Cached runnable-pid set, recomputed only when membership can have
      changed (spawn, a proc's last task finishing, a crash). The cache is
@@ -103,12 +117,15 @@ let create ?(seed = 0xC0FFEEL) ?(record_trace = true) ~n () =
             live = 0;
             next_task = 0;
             is_crashed = false;
+            is_retired = false;
           });
     step = 0;
     next_obj_id = 0;
     pending_by_obj = Array.make 16 [];
     events_by_obj = Array.make 16 0;
     crashes = [];
+    events = [];
+    next_event_seq = 0;
     sink = Sink.nil;
     runnable_cache = [||];
     runnable_dirty = true;
@@ -174,6 +191,54 @@ let spawn_machine ?(layer = Sink.Other) t ~pid ~name fn =
 let crash_at t ~pid ~step = t.crashes <- (step, pid) :: t.crashes
 
 let crashed t ~pid = t.procs.(pid).is_crashed
+let retired t ~pid = t.procs.(pid).is_retired
+
+(* --- dynamic membership -------------------------------------------------- *)
+
+let fresh_proc pid =
+  {
+    pid;
+    tasks = [||];
+    n_tasks = 0;
+    live = 0;
+    next_task = 0;
+    is_crashed = false;
+    is_retired = false;
+  }
+
+(* Grow the process table by one (amortized doubling; pre-built slots
+   beyond [num] are placeholders with the right pid). A fresh process has
+   no tasks, so it is not runnable until something is spawned on it —
+   joining the membership and joining the schedule are separate moments. *)
+let add_process t =
+  let pid = t.num in
+  let cap = Array.length t.procs in
+  if pid = cap then
+    t.procs <-
+      Array.init
+        (max 4 (2 * cap))
+        (fun i -> if i < cap then t.procs.(i) else fresh_proc i);
+  t.num <- pid + 1;
+  pid
+
+let schedule_event t ~step kind =
+  let seq = t.next_event_seq in
+  t.next_event_seq <- seq + 1;
+  t.events <- (step, seq, kind) :: t.events
+
+let spawn_late ?(layer = Sink.Other) ?at t ~name body =
+  let pid = add_process t in
+  (match at with
+  | Some at when at > t.step ->
+    schedule_event t ~step:at (Ev_task { pid; name; layer; state = Ready body })
+  | _ -> push_task t ~pid ~name ~layer (Ready body));
+  pid
+
+let spawn_at ?(layer = Sink.Other) t ~pid ~at ~name body =
+  if pid < 0 || pid >= t.num then invalid_arg "Runtime.spawn_at: bad pid";
+  if at <= t.step then push_task t ~pid ~name ~layer (Ready body)
+  else
+    schedule_event t ~step:at (Ev_task { pid; name; layer; state = Ready body })
 
 let yield () = Effect.perform Yield
 let call obj op = Effect.perform (Call (obj, op))
@@ -324,7 +389,8 @@ let runnable_task task =
     true
   | Running | Finished -> false
 
-let proc_runnable proc = (not proc.is_crashed) && proc.live > 0
+let proc_runnable proc =
+  (not proc.is_crashed) && (not proc.is_retired) && proc.live > 0
 
 (* Pick the next runnable task of [proc], round-robin over the task array
    starting at the cursor. Allocation-free. *)
@@ -375,13 +441,10 @@ let exec_task_step t task =
     run_machine t task fn result
   | Running | Finished -> assert false
 
-let crash_proc t proc =
-  proc.is_crashed <- true;
-  t.runnable_dirty <- true;
-  if t.sink.Sink.active then
-    signal t ~pid:proc.pid (Sink.Crash { pid = proc.pid });
-  (* Resolve any in-flight operation so the object's state is well defined,
-     then unwind every suspended task. *)
+(* Resolve any in-flight operation so the object's state is well defined,
+   then unwind every suspended task — the shared teardown under both
+   crashes and graceful retirements. *)
+let unwind_tasks t proc =
   let finish task =
     match task.t_state with
     | Suspended_call (k, pend) ->
@@ -401,6 +464,34 @@ let crash_proc t proc =
     finish proc.tasks.(i)
   done
 
+let crash_proc t proc =
+  proc.is_crashed <- true;
+  t.runnable_dirty <- true;
+  if t.sink.Sink.active then
+    signal t ~pid:proc.pid (Sink.Crash { pid = proc.pid });
+  unwind_tasks t proc
+
+let retire_proc t proc =
+  proc.is_retired <- true;
+  t.runnable_dirty <- true;
+  if t.sink.Sink.active then
+    signal t ~pid:proc.pid (Sink.Retire { pid = proc.pid });
+  unwind_tasks t proc;
+  (* A retired process never runs again: drop its task storage so a
+     long-lived world with heavy churn compacts as members leave. *)
+  proc.tasks <- [||];
+  proc.n_tasks <- 0;
+  proc.live <- 0;
+  proc.next_task <- 0
+
+let retire ?at t ~pid =
+  if pid < 0 || pid >= t.num then invalid_arg "Runtime.retire: bad pid";
+  match at with
+  | Some at when at > t.step -> schedule_event t ~step:at (Ev_retire pid)
+  | _ ->
+    let proc = t.procs.(pid) in
+    if not (proc.is_crashed || proc.is_retired) then retire_proc t proc
+
 let apply_due_crashes t =
   match t.crashes with
   | [] -> ()
@@ -413,18 +504,50 @@ let apply_due_crashes t =
         if not proc.is_crashed then crash_proc t proc)
       due
 
+(* Due membership events apply in creation order (the seq numbers — the
+   list itself is prepend-ordered), then due crashes: a crash and a
+   retirement due at the same step leave the process crashed. Activation
+   on a process that crashed or retired first is dropped. *)
+let apply_due_events t =
+  match t.events with
+  | [] -> ()
+  | _ ->
+    let due, later =
+      List.partition (fun (s, _, _) -> s <= t.step) t.events
+    in
+    t.events <- later;
+    List.sort (fun (_, a, _) (_, b, _) -> compare (a : int) b) due
+    |> List.iter (fun (_, _, kind) ->
+           match kind with
+           | Ev_task { pid; name; layer; state } ->
+             let proc = t.procs.(pid) in
+             if not (proc.is_crashed || proc.is_retired) then
+               push_task t ~pid ~name ~layer state
+           | Ev_retire pid ->
+             let proc = t.procs.(pid) in
+             if not (proc.is_crashed || proc.is_retired) then
+               retire_proc t proc)
+
+let apply_due t =
+  apply_due_events t;
+  apply_due_crashes t
+
 let recompute_runnable t =
+  (* Index loops bounded by [num], not [Array.iter]: the table's capacity
+     can exceed the membership after amortized growth. *)
   let count = ref 0 in
-  Array.iter (fun p -> if proc_runnable p then incr count) t.procs;
+  for i = 0 to t.num - 1 do
+    if proc_runnable t.procs.(i) then incr count
+  done;
   let fresh = Array.make !count 0 in
   let j = ref 0 in
-  Array.iter
-    (fun p ->
-      if proc_runnable p then begin
-        fresh.(!j) <- p.pid;
-        incr j
-      end)
-    t.procs;
+  for i = 0 to t.num - 1 do
+    let p = t.procs.(i) in
+    if proc_runnable p then begin
+      fresh.(!j) <- p.pid;
+      incr j
+    end
+  done;
   t.runnable_cache <- fresh;
   t.runnable_dirty <- false
 
@@ -432,7 +555,7 @@ let recompute_runnable t =
    implementation received a fresh array per call and could do anything
    with it; only the internal hot loop reads the cache directly. *)
 let runnable_pids t =
-  apply_due_crashes t;
+  apply_due t;
   if t.runnable_dirty then recompute_runnable t;
   Array.copy t.runnable_cache
 
@@ -443,7 +566,7 @@ let run_task_step t ~pid task =
   exec_task_step t task
 
 let step t ~pid =
-  apply_due_crashes t;
+  apply_due t;
   if pid < 0 || pid >= t.num then invalid_arg "Runtime.step: bad pid";
   let proc = t.procs.(pid) in
   if not (proc_runnable proc) then
@@ -459,7 +582,7 @@ let record_idle_step t =
     t.sink.Sink.on_step ~step:t.step ~pid:(-1) ~layer:Sink.Other
 
 let idle_step t =
-  apply_due_crashes t;
+  apply_due t;
   record_idle_step t;
   t.step <- t.step + 1
 
@@ -468,10 +591,24 @@ let run t ~policy ~steps =
   let pick = Policy.next policy in
   let continue_run = ref true in
   while !continue_run && t.step < deadline do
-    apply_due_crashes t;
+    apply_due t;
     if t.runnable_dirty then recompute_runnable t;
     let runnable = t.runnable_cache in
-    if Array.length runnable = 0 then continue_run := false
+    if Array.length runnable = 0 then
+      (* Nobody is runnable now, but a scheduled activation may still be
+         due before the deadline: idle toward it rather than stopping —
+         "no runnable task" only ends the run once no task can appear. *)
+      if
+        List.exists
+          (fun (s, _, k) ->
+            s < deadline
+            && match k with Ev_task _ -> true | Ev_retire _ -> false)
+          t.events
+      then begin
+        record_idle_step t;
+        t.step <- t.step + 1
+      end
+      else continue_run := false
     else begin
       (match pick ~step:t.step ~runnable ~rng:t.rng with
       | None -> record_idle_step t (* idle step *)
@@ -499,9 +636,9 @@ let stop t =
     | Ready _ | Machine_ready _ -> finish_task t task
     | Running | Finished -> ()
   in
-  Array.iter
-    (fun proc ->
-      for i = 0 to proc.n_tasks - 1 do
-        teardown proc.tasks.(i)
-      done)
-    t.procs
+  for p = 0 to t.num - 1 do
+    let proc = t.procs.(p) in
+    for i = 0 to proc.n_tasks - 1 do
+      teardown proc.tasks.(i)
+    done
+  done

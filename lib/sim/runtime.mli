@@ -28,6 +28,8 @@ val create : ?seed:int64 -> ?record_trace:bool -> n:int -> unit -> t
     byte-identical either way. *)
 
 val n : t -> int
+(** Current membership size: pids are 0..n-1, counting crashed and
+    retired processes. Grows with {!add_process}/{!spawn_late}. *)
 
 val rng : t -> Rng.t
 (** The scheduling stream: consumed by policies (via {!run}) and nothing
@@ -93,6 +95,49 @@ val crash_at : t -> pid:int -> step:int -> unit
     resolved at crash time so the object's state stays well defined. *)
 
 val crashed : t -> pid:int -> bool
+
+(** {2 Dynamic membership}
+
+    Processes can join and leave mid-run. Membership changes are
+    deterministic simulator events, keyed by step like everything else:
+    a run with churn is still a pure function of (seed, policy, spawned
+    code, scheduled events), so it replays byte-identically under
+    {!Policy.replay}. Events scheduled for the same step apply in the
+    order they were scheduled, before any crash due at that step. *)
+
+val add_process : t -> int
+(** Grow the membership by one and return the fresh pid ([n t] before the
+    call). The new process has no tasks, so it is not runnable — and
+    consumes no steps — until something is spawned on it; joining the
+    membership and joining the schedule are separate moments. The dense
+    process table grows amortized; existing pids are untouched. *)
+
+val spawn_late :
+  ?layer:Sink.layer -> ?at:int -> t -> name:string -> (unit -> unit) -> int
+(** [spawn_late t ~name body] = {!add_process} plus a task activation:
+    the fresh pid is returned immediately (so callers can wire objects or
+    predictions to it), and [body] becomes runnable at step [at] (default
+    now; an [at] in the past means now). The body can learn its own pid
+    with {!self}. *)
+
+val spawn_at :
+  ?layer:Sink.layer -> t -> pid:int -> at:int -> name:string ->
+  (unit -> unit) -> unit
+(** Deferred {!spawn}: add a task to existing process [pid] that becomes
+    runnable at step [at] — the join primitive for a cell built at
+    capacity, where a dormant member starts doing work mid-run. An
+    activation on a process that crashed or retired first is dropped. *)
+
+val retire : ?at:int -> t -> pid:int -> unit
+(** Gracefully remove [pid] from the membership at step [at] (default
+    now). Retirement resolves the process's in-flight operation exactly
+    as a crash does — the object's state stays well defined — and then
+    unwinds its tasks and drops their storage (compaction), but emits
+    {!Sink.Retire} rather than {!Sink.Crash}: the departure is a planned
+    leave, not a failure, and checkers treat it accordingly. Retiring a
+    crashed or already-retired process is a no-op. *)
+
+val retired : t -> pid:int -> bool
 
 val run : t -> policy:Policy.t -> steps:int -> unit
 (** Execute up to [steps] further steps. Stops early only if no process has

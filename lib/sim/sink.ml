@@ -33,6 +33,11 @@ type signal =
       (** activity monitor A(p,q) at the acting process p flipped its
           estimate of [watched] = q *)
   | Crash of { pid : int }  (** the runtime crashed process [pid] *)
+  | Retire of { pid : int }
+      (** the runtime gracefully retired process [pid]: it left the
+          membership with any in-flight operation resolved first, so the
+          departure is not a failure — checkers and telemetry count it
+          apart from {!Crash} *)
   | Op_complete
       (** the acting process completed one workload-level operation (a
           full [Tbwf.invoke] round trip, not an individual register call

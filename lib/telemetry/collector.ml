@@ -69,6 +69,7 @@ type t = {
   mutable crashes : (int * int) list;  (* (step, pid), reverse *)
   mutable crashes_len : int;
   mutable n_crashes : int;  (* exact even when [crashes] is truncated *)
+  mutable n_retires : int;  (* graceful leaves; kept out of snapshot v1 *)
   mutable net_sent : int;  (* messages admitted by the simulated network *)
   mutable net_dropped : int;  (* of which lost (partition cut or loss draw) *)
   net_latency : Hist.t;  (* assigned one-way delays of delivered messages *)
@@ -104,6 +105,7 @@ let create ?(window = 1024) ?retain ~n () =
     crashes = [];
     crashes_len = 0;
     n_crashes = 0;
+    n_retires = 0;
     net_sent = 0;
     net_dropped = 0;
     net_latency = Hist.create ();
@@ -111,9 +113,11 @@ let create ?(window = 1024) ?retain ~n () =
 
 (* Keep an event list bounded in [retain] mode: newest-first truncation,
    amortized O(1) via the 2× slack. Counts stay exact; only the
-   per-event detail beyond [retained_events] entries is dropped. *)
-let truncate_events t len list =
-  if t.retain <> None && len > 2 * retained_events then
+   per-event detail beyond [retained_events] entries is dropped. The
+   same cap applies after a merge — a fan-out fold over many retained
+   collectors must stay as bounded as any one of them. *)
+let truncate_events ~retain len list =
+  if retain <> None && len > 2 * retained_events then
     List.filteri (fun i _ -> i < retained_events) list, retained_events
   else list, len
 
@@ -243,7 +247,7 @@ let on_signal t ~step ~pid signal =
       t.current_leader <- Some l;
       t.epochs <- t.epochs + 1;
       let handoffs, len =
-        truncate_events t (t.handoffs_len + 1)
+        truncate_events ~retain:t.retain (t.handoffs_len + 1)
           ({ le_step = step; le_leader = l } :: t.handoffs)
       in
       t.handoffs <- handoffs;
@@ -256,10 +260,12 @@ let on_signal t ~step ~pid signal =
   | Sink.Crash { pid = crashed } ->
     t.n_crashes <- t.n_crashes + 1;
     let crashes, len =
-      truncate_events t (t.crashes_len + 1) ((step, crashed) :: t.crashes)
+      truncate_events ~retain:t.retain (t.crashes_len + 1)
+        ((step, crashed) :: t.crashes)
     in
     t.crashes <- crashes;
     t.crashes_len <- len
+  | Sink.Retire _ -> t.n_retires <- t.n_retires + 1
   | Sink.Op_complete ->
     if pid >= 0 && pid < t.n then begin
       t.app_completed.(pid) <- t.app_completed.(pid) + 1;
@@ -352,14 +358,18 @@ let merge a b =
     in
     go [] xs ys
   in
-  let handoffs =
-    List.rev
-      (merge_events
-         (fun ev -> ev.le_step)
-         (List.rev a.handoffs) (List.rev b.handoffs))
+  let handoffs, handoffs_len =
+    truncate_events ~retain:a.retain
+      (a.handoffs_len + b.handoffs_len)
+      (List.rev
+         (merge_events
+            (fun ev -> ev.le_step)
+            (List.rev a.handoffs) (List.rev b.handoffs)))
   in
-  let crashes =
-    List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes))
+  let crashes, crashes_len =
+    truncate_events ~retain:a.retain
+      (a.crashes_len + b.crashes_len)
+      (List.rev (merge_events fst (List.rev a.crashes) (List.rev b.crashes)))
   in
   {
     n = a.n;
@@ -387,13 +397,14 @@ let merge a b =
     leader_changes = sum_arrays a.leader_changes b.leader_changes;
     current_leader = None;
     handoffs;
-    handoffs_len = a.handoffs_len + b.handoffs_len;
+    handoffs_len;
     epochs = a.epochs + b.epochs;
     suspicion_flips = a.suspicion_flips + b.suspicion_flips;
     suspected_counts = sum_arrays a.suspected_counts b.suspected_counts;
     crashes;
-    crashes_len = a.crashes_len + b.crashes_len;
+    crashes_len;
     n_crashes = a.n_crashes + b.n_crashes;
+    n_retires = a.n_retires + b.n_retires;
     net_sent = a.net_sent + b.net_sent;
     net_dropped = a.net_dropped + b.net_dropped;
     net_latency = Hist.merge a.net_latency b.net_latency;
@@ -423,6 +434,7 @@ let handoffs t = List.rev t.handoffs
 let suspicion_flips t = t.suspicion_flips
 let crashes t = List.rev t.crashes
 let crash_count t = t.n_crashes
+let retire_count t = t.n_retires
 let register_abort_decisions t = t.register_abort_decisions
 let net_sent t = t.net_sent
 let net_dropped t = t.net_dropped

@@ -75,9 +75,11 @@ val merge : t -> t -> t
     cell-wise, and event lists (handoffs, crashes) interleave by step
     with ties broken left-first — commutative up to those ties, so a left
     fold in task-index order is order-fixed and domain-count-independent.
-    Run-local cursor state (current epoch leader, stream state) does not
-    survive. Raises [Invalid_argument] if [n], [window] or retention
-    differ. *)
+    In [retain] mode the merged event lists are re-truncated to the most
+    recent entries (counts stay exact), so folding thousands of retained
+    collectors stays as memory-bounded as any one of them. Run-local
+    cursor state (current epoch leader, stream state) does not survive.
+    Raises [Invalid_argument] if [n], [window] or retention differ. *)
 
 val merge_all : t list -> t
 (** Left fold of {!merge}; raises [Invalid_argument] on the empty list. *)
@@ -122,6 +124,11 @@ val crashes : t -> (int * int) list
     in [retain] mode — {!crash_count} stays exact). *)
 
 val crash_count : t -> int
+
+val retire_count : t -> int
+(** Graceful membership leaves ({!Tbwf_sim.Sink.Retire}) observed so far.
+    Deliberately not part of the [tbwf-telemetry/v1] snapshot — churn
+    aggregates live in the world layer's [tbwf-world/v1] schema. *)
 
 val register_abort_decisions : t -> int
 

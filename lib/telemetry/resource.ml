@@ -1,0 +1,32 @@
+(* Peak-RSS diagnostics for the long-running CLIs. Strictly stderr
+   material: the value is a property of the host process, not of the
+   simulation, so it must never enter a deterministic artifact. *)
+
+let parse_kb line =
+  (* "VmHWM:     12345 kB" *)
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    let digits =
+      String.to_seq rest
+      |> Seq.filter (fun ch -> ch >= '0' && ch <= '9')
+      |> String.of_seq
+    in
+    int_of_string_opt digits
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+          parse_kb line
+        else scan ()
+    in
+    let v = scan () in
+    close_in ic;
+    v

@@ -1,0 +1,7 @@
+(** Host-process resource diagnostics for CLI stderr reporting. *)
+
+val peak_rss_kb : unit -> int option
+(** The process's peak resident set (VmHWM) in kB, read from
+    [/proc/self/status]; [None] where procfs is unavailable. Host
+    state, not simulation state — report it on stderr only, never in a
+    deterministic artifact. *)
